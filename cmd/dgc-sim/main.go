@@ -1,0 +1,128 @@
+// dgc-sim runs one named scenario on a simulated cluster and prints
+// per-round progress: a workbench for watching the collectors operate.
+//
+// Usage:
+//
+//	dgc-sim [-scenario figure1|figure3|figure4|ring|acyclic|random]
+//	        [-procs N] [-chain N] [-seed N] [-rounds N]
+//	        [-loss F] [-dup F] [-reorder F] [-broadcast] [-v]
+//
+// Examples:
+//
+//	dgc-sim -scenario figure4
+//	dgc-sim -scenario ring -procs 16 -chain 3 -loss 0.2
+//	dgc-sim -scenario random -seed 7 -procs 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dgc"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "figure3", "topology to run")
+		procs     = flag.Int("procs", 4, "processes (ring/acyclic/random)")
+		chain     = flag.Int("chain", 2, "objects per process (ring)")
+		seed      = flag.Int64("seed", 1, "seed (random topology and faults)")
+		rounds    = flag.Int("rounds", 0, "max GC rounds (0 = 3*procs+10)")
+		loss      = flag.Float64("loss", 0, "GC message loss rate")
+		dup       = flag.Float64("dup", 0, "GC message duplication rate")
+		reorder   = flag.Float64("reorder", 0, "GC message reorder rate")
+		broadcast = flag.Bool("broadcast", false, "broadcast scion deletion on cycle found")
+		verbose   = flag.Bool("v", false, "print per-node stats at the end")
+		traceN    = flag.Int("trace", 0, "print the last N collector events")
+	)
+	flag.Parse()
+
+	var topo *dgc.Topology
+	switch *scenario {
+	case "figure1":
+		topo = dgc.Figure1()
+	case "figure3":
+		topo = dgc.Figure3()
+	case "figure4":
+		topo = dgc.Figure4()
+	case "ring":
+		topo = dgc.Ring(*procs, *chain)
+	case "acyclic":
+		topo = dgc.AcyclicChain(*procs)
+	case "random":
+		topo = dgc.RandomGraph(*seed, dgc.RandomConfig{
+			Procs: *procs, ObjsPerProc: 6, OutDegree: 1.8, RemoteFrac: 0.4, RootFrac: 0.1,
+		})
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+
+	cfg := dgc.Config{}
+	cfg.Detector.BroadcastDelete = *broadcast
+	var events *dgc.TraceLog
+	if *traceN > 0 {
+		events = dgc.NewTraceLog(*traceN)
+		cfg.Trace = events
+	}
+	c := dgc.NewCluster(*seed, cfg)
+	if _, err := c.Materialize(topo, cfg); err != nil {
+		log.Fatal(err)
+	}
+	if *loss > 0 || *dup > 0 || *reorder > 0 {
+		c.Net.SetFaults(dgc.Faults{
+			LossRate: *loss, DupRate: *dup, ReorderRate: *reorder,
+			Affects: dgc.GCTraffic(),
+		})
+	}
+
+	live := c.GlobalLive()
+	fmt.Printf("scenario %s: %d objects (%d reachable from roots), %d scions, %d stubs\n",
+		topo.Name, c.TotalObjects(), len(live), c.TotalScions(), c.TotalStubs())
+
+	maxRounds := *rounds
+	if maxRounds == 0 {
+		maxRounds = 3*len(topo.Nodes()) + 10
+	}
+	round := 0
+	for round < maxRounds {
+		before := c.TotalObjects()
+		c.GCRound()
+		round++
+		fmt.Printf("round %2d: objects %d -> %d, scions %d, stubs %d\n",
+			round, before, c.TotalObjects(), c.TotalScions(), c.TotalStubs())
+		if c.TotalObjects() == len(live) && c.TotalObjects() == before && round > 2 {
+			break
+		}
+	}
+
+	if v := c.LiveViolations(live); len(v) != 0 {
+		log.Fatalf("SAFETY VIOLATION: live objects reclaimed: %v", v)
+	}
+	leaked := c.TotalObjects() - len(live)
+	fmt.Printf("\nfinal: %d objects (%d expected live, %d leaked) after %d rounds\n",
+		c.TotalObjects(), len(live), leaked, round)
+
+	if *verbose {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "node\tswept\tdetections\tcycles\taborted\tCDMs sent\tstub sets")
+		for _, n := range c.Nodes() {
+			s := n.Stats()
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				n.ID(), s.ObjectsSwept, s.Detector.Started, s.Detector.CyclesFound,
+				s.Detector.Aborted, s.Detector.CDMsSent, s.StubSetsSent)
+		}
+		w.Flush()
+	}
+	if events != nil {
+		fmt.Println("\ncollector events (most recent last):")
+		for _, e := range events.Snapshot() {
+			fmt.Println("  " + e.String())
+		}
+	}
+	if leaked > 0 {
+		os.Exit(1)
+	}
+}

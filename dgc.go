@@ -1,0 +1,177 @@
+// Package dgc is an asynchronous, complete distributed garbage collector:
+// a Go reproduction of Veiga & Ferreira, "Asynchronous Complete Distributed
+// Garbage Collection" (IPPS 2005).
+//
+// The library provides, per process ("node"):
+//
+//   - an object heap with local roots and a tracing local collector;
+//   - a reference-listing acyclic distributed collector (stubs, scions and
+//     NewSetStubs messages), tolerant to message loss, duplication and
+//     reordering;
+//   - graph snapshots (with pluggable serialization codecs) summarized into
+//     the per-scion/per-stub reachability relations the detector needs;
+//   - the paper's contribution: a distributed cycle detector (DCDA) that
+//     finds and reclaims distributed cycles of garbage using an algebraic
+//     cycle-detection message (CDM), with no global synchronization, no
+//     per-detection state at intermediate processes, and invocation
+//     counters that abort detections raced by the mutator;
+//   - a remote invocation layer that instruments reference export/import
+//     exactly as the paper's Remoting instrumentation does.
+//
+// Nodes communicate over a pluggable transport: a deterministic in-process
+// fabric with fault injection (NewCluster) for simulation and testing, or
+// real TCP sockets (ListenTCP + NewNode) for distributed deployment.
+//
+// # Quick start
+//
+//	c := dgc.NewCluster(1, dgc.Config{})
+//	refs, _ := c.Materialize(dgc.Figure3(), dgc.Config{})
+//	c.CollectFully(12) // cycle detected and reclaimed
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package dgc
+
+import (
+	"dgc/internal/cluster"
+	"dgc/internal/core"
+	"dgc/internal/ids"
+	"dgc/internal/node"
+	"dgc/internal/snapshot"
+	"dgc/internal/trace"
+	"dgc/internal/transport"
+	"dgc/internal/wire"
+	"dgc/internal/workload"
+)
+
+// Identifier types.
+type (
+	// NodeID names a process.
+	NodeID = ids.NodeID
+	// ObjID identifies an object within one process.
+	ObjID = ids.ObjID
+	// GlobalRef names an object anywhere: owner node plus object id.
+	GlobalRef = ids.GlobalRef
+	// RefID identifies one inter-process reference (stub/scion pair).
+	RefID = ids.RefID
+)
+
+// Node-level types.
+type (
+	// Config tunes one node; the zero value is a sensible default
+	// (manual GC driving, unlimited detections, no snapshot codec).
+	Config = node.Config
+	// DetectorConfig tunes the cycle detector inside Config.Detector.
+	DetectorConfig = core.Config
+	// Node is one process: heap, collectors, detector and RPC.
+	Node = node.Node
+	// Mutator is the application's heap view inside With/method/reply
+	// callbacks.
+	Mutator = node.Mutator
+	// Reply is a remote invocation result.
+	Reply = node.Reply
+	// ReplyFunc consumes a Reply.
+	ReplyFunc = node.ReplyFunc
+	// Method implements a remotely invocable method.
+	Method = node.Method
+	// Stats are a node's activity counters.
+	Stats = node.Stats
+)
+
+// Cluster-level types.
+type (
+	// Cluster is a simulated set of nodes over the deterministic
+	// in-process transport.
+	Cluster = cluster.Cluster
+	// Faults configures the in-process transport's fault injection.
+	Faults = transport.Faults
+	// Topology is an abstract distributed object graph (see the workload
+	// constructors below).
+	Topology = workload.Topology
+	// RandomConfig parameterizes RandomGraph.
+	RandomConfig = workload.RandomConfig
+)
+
+// Snapshot codecs (the serialization experiment of §4).
+type (
+	// Codec serializes process snapshots.
+	Codec = snapshot.Codec
+	// BinaryCodec is the fast, compact snapshot serializer.
+	BinaryCodec = snapshot.BinaryCodec
+	// ReflectCodec is the deliberately naive reflective serializer
+	// standing in for Rotor's.
+	ReflectCodec = snapshot.ReflectCodec
+)
+
+// NewCluster creates a simulation cluster of nodes named names, all with
+// configuration cfg, over a deterministic in-process network seeded with
+// seed (the seed only drives fault injection).
+func NewCluster(seed int64, cfg Config, names ...NodeID) *Cluster {
+	return cluster.New(seed, cfg, names...)
+}
+
+// NewNode assembles a standalone node over any transport endpoint — use
+// ListenTCP for a real-socket deployment. The node installs itself as the
+// endpoint's handler.
+func NewNode(id NodeID, ep transport.Endpoint, cfg Config) *Node {
+	return node.New(id, ep, cfg)
+}
+
+// RestoreNode reconstructs a node from state produced by (*Node).Save,
+// attaching it to the endpoint: the persistent-store restart path. Heap,
+// stub/scion tables (with invocation counters) and reference-listing
+// sequence numbers survive; in-flight calls and detection caches do not
+// (they are volatile by design).
+func RestoreNode(ep transport.Endpoint, cfg Config, state []byte) (*Node, error) {
+	return node.Restore(ep, cfg, state)
+}
+
+// ListenTCP opens a TCP endpoint for node id at addr ("host:port"; port 0
+// picks an ephemeral port, see (*TCPEndpoint).Addr). peers maps other node
+// names to their dial addresses and may be extended later with AddPeer.
+func ListenTCP(id NodeID, addr string, peers map[NodeID]string) (*transport.TCPEndpoint, error) {
+	return transport.ListenTCP(id, addr, peers)
+}
+
+// TCPEndpoint re-exports the TCP transport endpoint type.
+type TCPEndpoint = transport.TCPEndpoint
+
+// Tracing types: configure Config.Trace with NewTraceLog to observe the
+// collectors (see internal/trace).
+type (
+	// TraceLog is a bounded, thread-safe event ring.
+	TraceLog = trace.Log
+	// TraceEvent is one recorded occurrence.
+	TraceEvent = trace.Event
+)
+
+// NewTraceLog returns an event log retaining the most recent capacity
+// events.
+func NewTraceLog(capacity int) *TraceLog { return trace.New(capacity) }
+
+// GCTraffic returns the message kinds belonging to the garbage collector's
+// own protocol (NewSetStubs, CDM, DeleteScion). Use it as Faults.Affects to
+// inject faults into collector traffic only — the paper's loss-tolerance
+// claim is about these messages; application RPCs have their own delivery
+// semantics.
+func GCTraffic() []wire.Kind {
+	return []wire.Kind{wire.KindNewSetStubs, wire.KindCDM, wire.KindDeleteScion}
+}
+
+// Workload constructors (see internal/workload for details).
+var (
+	// Ring builds a distributed garbage cycle over procs processes with
+	// chain objects each — the generalized Figure 3.
+	Ring = workload.Ring
+	// LiveRing is Ring with the head rooted: a live cycle.
+	LiveRing = workload.LiveRing
+	// Figure1, Figure3 and Figure4 are the paper's figures verbatim.
+	Figure1 = workload.Figure1
+	Figure3 = workload.Figure3
+	Figure4 = workload.Figure4
+	// AcyclicChain is purely acyclic distributed garbage.
+	AcyclicChain = workload.AcyclicChain
+	// RandomGraph builds a seeded random distributed graph.
+	RandomGraph = workload.RandomGraph
+	// RingHead names the ring entry object in Ring/LiveRing topologies.
+	RingHead = workload.RingHead
+)

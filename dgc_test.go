@@ -1,0 +1,181 @@
+package dgc_test
+
+import (
+	"testing"
+	"time"
+
+	"dgc"
+)
+
+// The public-API tests exercise the facade exactly as a downstream user
+// would: only the dgc package is imported.
+
+func TestPublicAPIFigure3(t *testing.T) {
+	c := dgc.NewCluster(1, dgc.Config{})
+	refs, err := c.Materialize(dgc.Figure3(), dgc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 14 || c.TotalObjects() != 14 {
+		t.Fatalf("materialized %d refs, %d objects", len(refs), c.TotalObjects())
+	}
+	c.CollectFully(12)
+	if c.TotalObjects() != 0 {
+		t.Fatalf("%d objects left", c.TotalObjects())
+	}
+}
+
+func TestPublicAPITickDriven(t *testing.T) {
+	// Fully periodic configuration: GC runs from Tick alone.
+	cfg := dgc.Config{LGCEvery: 1, SnapshotEvery: 2, DetectEvery: 2}
+	c := dgc.NewCluster(1, cfg)
+	if _, err := c.Materialize(dgc.Ring(3, 2), cfg); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick(30)
+	if c.TotalObjects() != 0 {
+		t.Fatalf("%d objects left after ticked rounds", c.TotalObjects())
+	}
+}
+
+func TestPublicAPIRPCFlow(t *testing.T) {
+	c := dgc.NewCluster(1, dgc.Config{}, "A", "B")
+	a, b := c.Node("A"), c.Node("B")
+
+	// B publishes a service object; A acquires it and builds a two-node
+	// cycle through RPC only.
+	var service dgc.ObjID
+	b.With(func(m dgc.Mutator) {
+		service = m.Alloc([]byte("service"))
+	})
+	var holder dgc.ObjID
+	a.With(func(m dgc.Mutator) {
+		holder = m.Alloc(nil)
+		if err := m.Root(holder); err != nil {
+			t.Error(err)
+		}
+	})
+	serviceRef := dgc.GlobalRef{Node: "B", Obj: service}
+	if err := a.AcquireRemote(serviceRef, func(m dgc.Mutator, ok bool) {
+		if !ok {
+			t.Error("acquire failed")
+			return
+		}
+		if err := m.Store(holder, serviceRef); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle()
+
+	// A asks B to allocate a child and stores a back-reference from the
+	// child to A's holder: a distributed cycle held live by A's root.
+	holderRef := dgc.GlobalRef{Node: "A", Obj: holder}
+	if err := a.Invoke(serviceRef, "alloc-child", nil, func(m dgc.Mutator, r dgc.Reply) {
+		if !r.OK || len(r.Returns) != 1 {
+			t.Errorf("alloc-child: %+v", r)
+			return
+		}
+		child := r.Returns[0]
+		if err := m.Store(holder, child); err != nil {
+			t.Error(err)
+		}
+		if err := m.Invoke(child, "store", []dgc.GlobalRef{holderRef}, nil); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle()
+
+	for i := 0; i < 5; i++ {
+		c.GCRound()
+	}
+	if got := c.TotalObjects(); got != 3 {
+		t.Fatalf("objects = %d, want 3 (holder, service, child)", got)
+	}
+
+	// Drop the root: holder, child AND the remote cycle become garbage.
+	a.With(func(m dgc.Mutator) { m.Unroot(holder) })
+	c.CollectFully(12)
+	if got := c.TotalObjects(); got != 0 {
+		t.Fatalf("objects = %d after unroot", got)
+	}
+}
+
+func TestPublicAPITCP(t *testing.T) {
+	// Two real-socket nodes; an acyclic remote reference is created and
+	// reclaimed over TCP.
+	epA, err := dgc.ListenTCP("A", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := dgc.ListenTCP("B", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+	epA.AddPeer("B", epB.Addr())
+	epB.AddPeer("A", epA.Addr())
+
+	a := dgc.NewNode("A", epA, dgc.Config{})
+	b := dgc.NewNode("B", epB, dgc.Config{})
+
+	var target dgc.ObjID
+	b.With(func(m dgc.Mutator) { target = m.Alloc(nil) })
+	var holder dgc.ObjID
+	a.With(func(m dgc.Mutator) {
+		holder = m.Alloc(nil)
+		if err := m.Root(holder); err != nil {
+			t.Error(err)
+		}
+	})
+	ref := dgc.GlobalRef{Node: "B", Obj: target}
+	done := make(chan bool, 1)
+	if err := a.AcquireRemote(ref, func(m dgc.Mutator, ok bool) {
+		if ok {
+			if err := m.Store(holder, ref); err != nil {
+				t.Error(err)
+			}
+		}
+		done <- ok
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("acquire failed over TCP")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("acquire timed out")
+	}
+
+	// B's object survives its local GC thanks to the scion.
+	b.RunLGC()
+	if b.NumObjects() != 1 {
+		t.Fatal("object reclaimed despite remote reference")
+	}
+
+	// A drops the reference and collects: B learns via NewSetStubs and
+	// reclaims.
+	a.With(func(m dgc.Mutator) {
+		if err := m.Drop(holder, ref); err != nil {
+			t.Error(err)
+		}
+	})
+	a.RunLGC()
+	deadline := time.Now().Add(3 * time.Second)
+	for b.NumScions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scion not dropped over TCP")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b.RunLGC()
+	if b.NumObjects() != 0 {
+		t.Fatal("garbage not reclaimed over TCP")
+	}
+}

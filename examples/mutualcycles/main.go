@@ -1,0 +1,72 @@
+// Mutual cycles: the paper's Figure 4 — two mutually-linked distributed
+// cycles over six processes — plus its Figure 1 variant where an external
+// live reference pins the cycles.
+//
+// Demonstrates the two defining behaviours of the detector's algebra:
+//
+//   - converging paths (two scions lead to the same stub at P5) become
+//     extra dependencies that must be resolved before any cycle is
+//     declared;
+//
+//   - an unresolved dependency (the rooted W -> F reference) blocks
+//     collection exactly until it disappears.
+//
+//     go run ./examples/mutualcycles
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dgc"
+)
+
+func main() {
+	fmt.Println("=== Figure 4: mutually-linked cycles ===")
+	runFigure4()
+	fmt.Println()
+	fmt.Println("=== Figure 1: cycle with an external dependency ===")
+	runFigure1()
+}
+
+func runFigure4() {
+	cfg := dgc.Config{}
+	c := dgc.NewCluster(1, cfg)
+	if _, err := c.Materialize(dgc.Figure4(), cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("start: %d objects across %d processes, %d scions\n",
+		c.TotalObjects(), 6, c.TotalScions())
+
+	rounds := c.CollectFully(15)
+	fmt.Printf("collected in %d rounds: %d objects remain\n", rounds, c.TotalObjects())
+
+	for id, s := range c.Stats() {
+		if s.Detector.CyclesFound > 0 {
+			fmt.Printf("  %s completed %d detection(s); %d scions freed\n",
+				id, s.Detector.CyclesFound, s.Detector.ScionsFreed)
+		}
+	}
+}
+
+func runFigure1() {
+	cfg := dgc.Config{}
+	c := dgc.NewCluster(1, cfg)
+	refs, err := c.Materialize(dgc.Figure1(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := refs["W"]
+	fmt.Printf("start: %d objects; W@%s holds a rooted reference into the cycle\n",
+		c.TotalObjects(), w.Node)
+
+	c.CollectFully(10)
+	fmt.Printf("with the dependency alive: %d objects remain (cycle correctly preserved)\n",
+		c.TotalObjects())
+
+	// The dependency dies.
+	c.Node(w.Node).With(func(m dgc.Mutator) { m.Unroot(w.Obj) })
+	rounds := c.CollectFully(15)
+	fmt.Printf("after dropping W's root: collected in %d rounds, %d objects remain\n",
+		rounds, c.TotalObjects())
+}

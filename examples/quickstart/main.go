@@ -1,0 +1,60 @@
+// Quickstart: build the paper's Figure 3 — a garbage cycle spanning four
+// processes — on a simulated cluster and watch the distributed cycle
+// detector reclaim it.
+//
+// Reference listing alone (the acyclic distributed collector) can never
+// reclaim this cycle: each process's fragment is protected by a scion from
+// the previous process. The DCDA detects the cycle with one round of CDM
+// messages and deletes a scion, after which the acyclic collector unravels
+// the rest.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dgc"
+)
+
+func main() {
+	cfg := dgc.Config{}
+	c := dgc.NewCluster(1, cfg)
+
+	refs, err := c.Materialize(dgc.Figure3(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("materialized %q: %d objects on %d processes, %d inter-process references\n",
+		"figure3", c.TotalObjects(), 4, c.TotalStubs())
+	fmt.Printf("the cycle: F@%s -> Q@%s -> O@%s -> D@%s -> F\n",
+		refs["F"].Node, refs["Q"].Node, refs["O"].Node, refs["D"].Node)
+
+	// Round 1: local collections reclaim only A (plain local garbage);
+	// the cycle survives because scions act as roots.
+	c.GCRound()
+	fmt.Printf("after round 1: %d objects (only A reclaimed; cycle leaked by reference listing)\n",
+		c.TotalObjects())
+
+	// Further rounds: summaries are taken, the detector nominates the
+	// quiescent, locally-unreachable scions, CDMs traverse the ring, the
+	// algebra matches to empty, and the cascade reclaims everything.
+	round := 1
+	for c.TotalObjects() > 0 && round < 12 {
+		c.GCRound()
+		round++
+		fmt.Printf("after round %d: %d objects, %d scions\n",
+			round, c.TotalObjects(), c.TotalScions())
+	}
+
+	var found, sent uint64
+	for _, s := range c.Stats() {
+		found += s.Detector.CyclesFound
+		sent += s.Detector.CDMsSent
+	}
+	fmt.Printf("\ncycle detections completed: %d (with %d CDM messages total)\n", found, sent)
+	if c.TotalObjects() == 0 {
+		fmt.Println("distributed cycle fully reclaimed ✔")
+	}
+}

@@ -1,0 +1,3 @@
+module dgc
+
+go 1.22

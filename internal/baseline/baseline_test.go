@@ -1,0 +1,292 @@
+package baseline
+
+import (
+	"testing"
+
+	"dgc/internal/ids"
+	"dgc/internal/workload"
+)
+
+func build(t *testing.T, topo *workload.Topology) *World {
+	t.Helper()
+	w, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBuildFigure3(t *testing.T) {
+	w := build(t, workload.Figure3())
+	if w.TotalObjects() != 14 {
+		t.Fatalf("objects = %d", w.TotalObjects())
+	}
+	if w.TotalScions() != 4 {
+		t.Fatalf("scions = %d", w.TotalScions())
+	}
+	if len(w.Order) != 4 {
+		t.Fatalf("procs = %d", len(w.Order))
+	}
+	if _, err := w.proc("P9"); err == nil {
+		t.Fatal("unknown proc lookup succeeded")
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	bad := &workload.Topology{
+		Objects: []workload.ObjSpec{{Name: "x", Node: "P1"}},
+		Edges:   []workload.EdgeSpec{{From: "x", To: "y"}},
+	}
+	if _, err := Build(bad); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestWorldLGCReclaimsAcyclic(t *testing.T) {
+	w := build(t, workload.AcyclicChain(4))
+	for i := 0; i < 6; i++ {
+		w.LGC()
+	}
+	if w.TotalObjects() != 0 || w.TotalScions() != 0 {
+		t.Fatalf("leftovers: objs=%d scions=%d", w.TotalObjects(), w.TotalScions())
+	}
+}
+
+func TestWorldLGCPreservesCycle(t *testing.T) {
+	// Reference listing alone must leak the distributed cycle: that is the
+	// problem both baselines (and the DCDA) exist to solve.
+	w := build(t, workload.Figure3())
+	for i := 0; i < 5; i++ {
+		w.LGC()
+	}
+	if w.TotalObjects() != 13 { // only A is reclaimed
+		t.Fatalf("objects = %d, want 13", w.TotalObjects())
+	}
+}
+
+func TestHughesCollectsCycle(t *testing.T) {
+	w := build(t, workload.Figure3())
+	h := NewHughes(w)
+	rounds := h.RunUntilStable(200)
+	if w.TotalObjects() != 0 {
+		t.Fatalf("cycle not collected after %d rounds: %d objects", rounds, w.TotalObjects())
+	}
+	if h.Stats.ScionsDeleted == 0 {
+		t.Fatal("no scions expired")
+	}
+	// The consensus traffic is continuous: 2N messages per round.
+	if h.Stats.ThresholdMessages != 8*h.Stats.Rounds {
+		t.Fatalf("threshold messages = %d over %d rounds", h.Stats.ThresholdMessages, h.Stats.Rounds)
+	}
+}
+
+func TestHughesPreservesLiveRing(t *testing.T) {
+	w := build(t, workload.LiveRing(4, 2))
+	h := NewHughes(w)
+	for i := 0; i < int(h.Lag)*3+20; i++ {
+		h.Round()
+	}
+	if w.TotalObjects() != 8 {
+		t.Fatalf("live ring damaged: %d objects", w.TotalObjects())
+	}
+}
+
+func TestHughesMixedLiveAndGarbage(t *testing.T) {
+	// Figure 1: live dependency W holds the cycle; Hughes must keep it all,
+	// then collect once the root is dropped.
+	topo := workload.Figure1()
+	w := build(t, topo)
+	h := NewHughes(w)
+	for i := 0; i < int(h.Lag)*2+10; i++ {
+		h.Round()
+	}
+	if got := w.TotalObjects(); got != 14 {
+		t.Fatalf("objects = %d, want 14 (cycle+W, A collected)", got)
+	}
+	// Drop the root.
+	wref := w.Names["W"]
+	w.Procs[wref.Node].Heap.RemoveRoot(wref.Obj)
+	rounds := h.RunUntilStable(300)
+	if w.TotalObjects() != 0 {
+		t.Fatalf("not collected after root drop (%d rounds): %d objects", rounds, w.TotalObjects())
+	}
+}
+
+func TestHughesContinuousCostEvenWhenQuiescent(t *testing.T) {
+	// The paper's criticism quantified: a fully live world still pays stamp
+	// and threshold messages every round.
+	w := build(t, workload.LiveRing(3, 1))
+	h := NewHughes(w)
+	before := h.Stats.StampMessages + h.Stats.ThresholdMessages
+	for i := 0; i < 10; i++ {
+		h.Round()
+	}
+	after := h.Stats.StampMessages + h.Stats.ThresholdMessages
+	perRound := (after - before) / 10
+	if perRound < uint64(2*len(w.Order)) {
+		t.Fatalf("per-round cost = %d, expected continuous traffic", perRound)
+	}
+}
+
+func TestBacktraceCollectsCycle(t *testing.T) {
+	w := build(t, workload.Figure3())
+	b := NewBacktracer(w)
+	rounds, err := b.RunUntilStable(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalObjects() != 0 {
+		t.Fatalf("cycle not collected after %d rounds: %d objects", rounds, w.TotalObjects())
+	}
+	if b.Stats.Messages == 0 || b.Stats.Traces == 0 {
+		t.Fatalf("stats = %+v", b.Stats)
+	}
+}
+
+func TestBacktracePreservesLive(t *testing.T) {
+	w := build(t, workload.LiveRing(4, 2))
+	b := NewBacktracer(w)
+	if _, err := b.RunUntilStable(15); err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalObjects() != 8 {
+		t.Fatalf("live ring damaged: %d objects", w.TotalObjects())
+	}
+}
+
+func TestBacktraceFigure1Dependency(t *testing.T) {
+	w := build(t, workload.Figure1())
+	b := NewBacktracer(w)
+	if _, err := b.RunUntilStable(15); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.TotalObjects(); got != 14 {
+		t.Fatalf("objects = %d, want cycle+W preserved", got)
+	}
+	wref := w.Names["W"]
+	w.Procs[wref.Node].Heap.RemoveRoot(wref.Obj)
+	if _, err := b.RunUntilStable(20); err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalObjects() != 0 {
+		t.Fatalf("objects = %d after dependency death", w.TotalObjects())
+	}
+}
+
+func TestBacktraceSuspectDirect(t *testing.T) {
+	w := build(t, workload.Figure3())
+	b := NewBacktracer(w)
+	f := w.Names["F"]
+	found, err := b.TraceSuspect(f.Node, f.Obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("garbage cycle suspect reported as rooted")
+	}
+	// Root B at P1 and retry: now rooted.
+	bRef := w.Names["B"]
+	if err := w.Procs["P1"].Heap.AddRoot(bRef.Obj); err != nil {
+		t.Fatal(err)
+	}
+	found, err = b.TraceSuspect(f.Node, f.Obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("rooted suspect reported as garbage")
+	}
+}
+
+func TestBacktraceVisitedStateGrowsWithCycle(t *testing.T) {
+	// The per-trace state (visited set) grows with cycle length: the
+	// paper's state criticism, measurable.
+	small := NewBacktracer(build(t, workload.Ring(3, 1)))
+	big := NewBacktracer(build(t, workload.Ring(8, 1)))
+	if _, err := small.RunUntilStable(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.RunUntilStable(15); err != nil {
+		t.Fatal(err)
+	}
+	if big.Stats.MaxVisited <= small.Stats.MaxVisited {
+		t.Fatalf("visited: big=%d small=%d", big.Stats.MaxVisited, small.Stats.MaxVisited)
+	}
+}
+
+func TestBacktraceMutualCycles(t *testing.T) {
+	w := build(t, workload.Figure4())
+	b := NewBacktracer(w)
+	rounds, err := b.RunUntilStable(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalObjects() != 0 {
+		t.Fatalf("mutual cycles not collected (%d rounds): %d objects", rounds, w.TotalObjects())
+	}
+}
+
+func TestBaselinesOnRandomGraphs(t *testing.T) {
+	// Both baselines must agree with ground truth on random topologies —
+	// they are comparison points, so they must be correct too.
+	for seed := int64(1); seed <= 5; seed++ {
+		topo := workload.RandomGraph(seed, workload.RandomConfig{
+			Procs: 4, ObjsPerProc: 6, OutDegree: 1.8, RemoteFrac: 0.4, RootFrac: 0.15,
+		})
+		expectLive := func(w *World) int {
+			live := globalLive(w)
+			return len(live)
+		}
+
+		wb := build(t, topo)
+		want := expectLive(wb)
+		b := NewBacktracer(wb)
+		if _, err := b.RunUntilStable(40); err != nil {
+			t.Fatal(err)
+		}
+		if got := wb.TotalObjects(); got != want {
+			t.Errorf("seed %d: backtrace left %d objects, want %d", seed, got, want)
+		}
+
+		wh := build(t, topo)
+		h := NewHughes(wh)
+		h.RunUntilStable(int(h.Lag)*4 + 50)
+		if got := wh.TotalObjects(); got != want {
+			t.Errorf("seed %d: hughes left %d objects, want %d", seed, got, want)
+		}
+	}
+}
+
+// globalLive computes ground truth over a baseline world.
+func globalLive(w *World) map[ids.GlobalRef]struct{} {
+	live := make(map[ids.GlobalRef]struct{})
+	var queue []ids.GlobalRef
+	push := func(ref ids.GlobalRef) {
+		p := w.Procs[ref.Node]
+		if p == nil || !p.Heap.Contains(ref.Obj) {
+			return
+		}
+		if _, ok := live[ref]; ok {
+			return
+		}
+		live[ref] = struct{}{}
+		queue = append(queue, ref)
+	}
+	for _, id := range w.Order {
+		for _, r := range w.Procs[id].Heap.Roots() {
+			push(ids.GlobalRef{Node: id, Obj: r})
+		}
+	}
+	for len(queue) > 0 {
+		ref := queue[0]
+		queue = queue[1:]
+		o := w.Procs[ref.Node].Heap.Get(ref.Obj)
+		for _, l := range o.Locals {
+			push(ids.GlobalRef{Node: ref.Node, Obj: l})
+		}
+		for _, r := range o.Remotes {
+			push(r)
+		}
+	}
+	return live
+}

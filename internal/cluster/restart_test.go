@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+
+	"dgc/internal/node"
+	"dgc/internal/workload"
+)
+
+// TestRestartMidDetection crashes and restores a process while a cycle
+// detection is circulating through it. The detection must not produce a
+// false result; after the restart the cycle is still detected and
+// reclaimed (the persistence counters make the restarted node's state
+// indistinguishable from a slow node's).
+func TestRestartMidDetection(t *testing.T) {
+	cfg := node.Config{}
+	c := New(1, cfg)
+	if _, err := c.Materialize(workload.Ring(4, 2), cfg); err != nil {
+		t.Fatal(err)
+	}
+	live := c.GlobalLive()
+	if len(live) != 0 {
+		t.Fatal("ring should be garbage")
+	}
+
+	// Prepare detections but stop mid-flight: summaries + detection start,
+	// then deliver only a couple of hops.
+	for _, n := range c.Nodes() {
+		n.RunLGC()
+	}
+	c.Settle()
+	for _, n := range c.Nodes() {
+		if err := n.Summarize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Node("P1").RunDetection()
+	c.Net.Drain(2) // CDMs in flight through P3/P4...
+
+	// "Crash" P3: persist, replace with a restored instance on the same
+	// endpoint. Its summary and CDM accumulators die with the process.
+	data, err := c.Node("P3").Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := node.Restore(c.Net.Endpoint("P3"), cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Replace("P3", restored)
+
+	// Whatever was in flight lands on the restored node, which has no
+	// summary yet: safety rule 1 drops those CDMs.
+	c.Settle()
+	if got := c.TotalObjects(); got != 8 {
+		t.Fatalf("objects after crash = %d, want 8 (nothing falsely reclaimed)", got)
+	}
+
+	// Normal rounds resume: the cycle is detected and fully reclaimed.
+	rounds := c.CollectFully(15)
+	if c.TotalObjects() != 0 {
+		t.Fatalf("cycle not reclaimed after restart (%d rounds, %d left)",
+			rounds, c.TotalObjects())
+	}
+}
+
+// TestDeadNodeDoesNotBlockOthers pins the paper's claim that the DCDA
+// "makes progress without requiring all processes to participate": a
+// process that stops responding prevents collecting cycles THROUGH it, but
+// cycles among the live processes are still reclaimed.
+func TestDeadNodeDoesNotBlockOthers(t *testing.T) {
+	cfg := node.Config{}
+	c := New(1, cfg)
+	// Two independent garbage rings: P1-P2 and P3-P4.
+	topo := &workload.Topology{
+		Name: "two-rings",
+		Objects: []workload.ObjSpec{
+			{Name: "a1", Node: "P1"}, {Name: "a2", Node: "P2"},
+			{Name: "b1", Node: "P3"}, {Name: "b2", Node: "P4"},
+		},
+		Edges: []workload.EdgeSpec{
+			{From: "a1", To: "a2"}, {From: "a2", To: "a1"},
+			{From: "b1", To: "b2"}, {From: "b2", To: "b1"},
+		},
+	}
+	if _, err := c.Materialize(topo, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// P4 dies: its endpoint stops delivering.
+	if err := c.Net.Endpoint("P4").Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 8; round++ {
+		for _, n := range c.Nodes() {
+			if n.ID() == "P4" {
+				continue // dead
+			}
+			n.RunLGC()
+		}
+		c.Settle()
+		for _, n := range c.Nodes() {
+			if n.ID() == "P4" {
+				continue
+			}
+			if err := n.Summarize(); err != nil {
+				t.Fatal(err)
+			}
+			n.RunDetection()
+		}
+		c.Settle()
+	}
+	// The P1-P2 ring is gone; the ring through dead P4 is conservatively
+	// retained (P3 cannot complete a detection without P4's cooperation).
+	if got := c.Node("P1").NumObjects() + c.Node("P2").NumObjects(); got != 0 {
+		t.Fatalf("live-side ring not reclaimed: %d objects", got)
+	}
+	if got := c.Node("P3").NumObjects(); got != 1 {
+		t.Fatalf("P3 objects = %d, want 1 (conservatively retained)", got)
+	}
+}

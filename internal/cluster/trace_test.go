@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"dgc/internal/ids"
+	"dgc/internal/node"
+	"dgc/internal/trace"
+	"dgc/internal/workload"
+)
+
+// TestTraceRecordsCollectionStory verifies the node layer narrates a full
+// Figure 3 collection: collections, summarizations, detection starts, CDM
+// handling, the cycle-found event and both scion-deletion reasons.
+func TestTraceRecordsCollectionStory(t *testing.T) {
+	log := trace.New(4096)
+	cfg := node.Config{Trace: log}
+	c := New(1, cfg)
+	if _, err := c.Materialize(workload.Figure3(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	c.CollectFully(12)
+	if c.TotalObjects() != 0 {
+		t.Fatal("not collected")
+	}
+
+	if len(log.OfKind(trace.KindLGC)) == 0 {
+		t.Error("no LGC events")
+	}
+	if len(log.OfKind(trace.KindSummarize)) == 0 {
+		t.Error("no summarize events")
+	}
+	starts := log.OfKind(trace.KindDetectionStart)
+	if len(starts) == 0 {
+		t.Error("no detection-start events")
+	}
+	found := log.OfKind(trace.KindCycleFound)
+	if len(found) == 0 {
+		t.Fatal("no cycle-found events")
+	}
+	if !strings.Contains(found[0].Detail, "scions=4") {
+		t.Errorf("cycle-found detail = %q, want the 4-scion cycle", found[0].Detail)
+	}
+	// All four cycle scions disappear, each attributed to a reason (the
+	// detector's own deletion, or the stub-set cascade when another node's
+	// detection beat this one's).
+	var cycleDel, stubSetDel int
+	for _, e := range log.OfKind(trace.KindScionDeleted) {
+		switch {
+		case strings.Contains(e.Detail, "reason=cycle"):
+			cycleDel++
+		case strings.Contains(e.Detail, "reason=stub-set"):
+			stubSetDel++
+		}
+	}
+	if cycleDel == 0 {
+		t.Error("no cycle-reason scion deletions")
+	}
+	if cycleDel+stubSetDel != 4 {
+		t.Errorf("scion deletions = %d cycle + %d stub-set, want 4 total", cycleDel, stubSetDel)
+	}
+	// A cycle-found event must come after at least one CDM event.
+	events := log.Snapshot()
+	firstCDM, firstFound := uint64(0), uint64(0)
+	for _, e := range events {
+		if e.Kind == trace.KindCDMHandled && firstCDM == 0 {
+			firstCDM = e.Seq
+		}
+		if e.Kind == trace.KindCycleFound && firstFound == 0 {
+			firstFound = e.Seq
+		}
+	}
+	if firstCDM == 0 || firstFound == 0 || firstFound < firstCDM {
+		t.Errorf("event order wrong: firstCDM=%d firstFound=%d", firstCDM, firstFound)
+	}
+}
+
+func TestTraceRecordsInvocations(t *testing.T) {
+	log := trace.New(256)
+	cfg := node.Config{Trace: log}
+	c := New(1, cfg, "A", "B")
+	var target ids.ObjID
+	c.Node("B").With(func(m node.Mutator) { target = m.Alloc(nil) })
+	var holder ids.ObjID
+	c.Node("A").With(func(m node.Mutator) {
+		holder = m.Alloc(nil)
+		if err := m.Root(holder); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Connect("A", holder, "B", target); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node("A").Invoke(ids.GlobalRef{Node: "B", Obj: target}, "noop", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle()
+	invokes := log.OfKind(trace.KindInvoke)
+	if len(invokes) != 1 || invokes[0].Node != "B" || !strings.Contains(invokes[0].Detail, "method=noop") {
+		t.Fatalf("invoke events = %+v", invokes)
+	}
+}

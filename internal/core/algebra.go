@@ -1,0 +1,315 @@
+// Package core implements the paper's primary contribution: the Distributed
+// Cycle Detection Algorithm (DCDA) and the algebraic representation carried
+// by cycle detection messages (CDMs).
+//
+// A CDM carries two sets over inter-process references (§3 "Algebra"):
+//
+//   - the SOURCE set: compiled dependencies — scions that lead into the
+//     distributed sub-graph traced so far; every one of them must be
+//     resolved (traced through) before a cycle may be declared;
+//   - the TARGET set: the stubs the message has been forwarded along.
+//
+// Following the paper's implementation note (§4: "each scion/stub
+// representation holds two bits, indicating whether they are present in the
+// CDM source and/or target set"), the algebra is stored as one entry per
+// reference with two presence bits plus the invocation counter observed on
+// each side. Matching removes references present in both sets when their
+// counters agree; a counter disagreement proves a mutator invocation raced
+// the detection and aborts it (§3.2).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dgc/internal/ids"
+)
+
+// Entry records one reference's state within a CDM.
+type Entry struct {
+	InSource bool   // present in the source (dependency/scion) set
+	SrcIC    uint64 // scion-side invocation counter (valid when InSource)
+	InTarget bool   // present in the target (stub) set
+	TgtIC    uint64 // stub-side invocation counter (valid when InTarget)
+}
+
+// Alg is the CDM algebra: a mapping from references to entries. The zero
+// value is not usable; construct with NewAlg. Alg values are mutated by Add*
+// and copied with Clone before derivation, mirroring the paper's CDM
+// derivations (Alg_1a, Alg_1b, ...).
+type Alg struct {
+	Entries map[ids.RefID]Entry
+}
+
+// NewAlg returns an empty algebra.
+func NewAlg() Alg {
+	return Alg{Entries: make(map[ids.RefID]Entry)}
+}
+
+// Clone returns an independent copy.
+func (a Alg) Clone() Alg {
+	c := Alg{Entries: make(map[ids.RefID]Entry, len(a.Entries))}
+	for k, v := range a.Entries {
+		c.Entries[k] = v
+	}
+	return c
+}
+
+// AddSource inserts ref into the source set with the given scion-side
+// invocation counter.
+//
+// changed reports whether the algebra grew. conflict reports that ref was
+// already in the source set with a DIFFERENT counter — possible only when
+// two distinct snapshot versions of the same process were combined into one
+// CDM-Graph with an interleaved invocation, which is exactly the race the
+// algorithm must abort on.
+func (a Alg) AddSource(ref ids.RefID, ic uint64) (changed, conflict bool) {
+	e, ok := a.Entries[ref]
+	if ok && e.InSource {
+		return false, e.SrcIC != ic
+	}
+	e.InSource = true
+	e.SrcIC = ic
+	a.Entries[ref] = e
+	return true, false
+}
+
+// AddTarget inserts ref into the target set with the given stub-side
+// invocation counter. Semantics mirror AddSource.
+func (a Alg) AddTarget(ref ids.RefID, ic uint64) (changed, conflict bool) {
+	e, ok := a.Entries[ref]
+	if ok && e.InTarget {
+		return false, e.TgtIC != ic
+	}
+	e.InTarget = true
+	e.TgtIC = ic
+	a.Entries[ref] = e
+	return true, false
+}
+
+// Equal reports whether two algebras hold exactly the same entries. Used for
+// the branch-termination rule of §3.1 step 15: a derivation identical to the
+// delivered CDM carries no new information and must not be forwarded.
+func (a Alg) Equal(b Alg) bool {
+	if len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for k, v := range a.Entries {
+		if bv, ok := b.Entries[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of distinct references in the algebra.
+func (a Alg) Len() int { return len(a.Entries) }
+
+// SourceRefs returns the references in the source set, in canonical order.
+// When a cycle is found, these are precisely the scions of the garbage
+// cycle.
+func (a Alg) SourceRefs() []ids.RefID {
+	var out []ids.RefID
+	for r, e := range a.Entries {
+		if e.InSource {
+			out = append(out, r)
+		}
+	}
+	ids.SortRefIDs(out)
+	return out
+}
+
+// TargetRefs returns the references in the target set, in canonical order.
+func (a Alg) TargetRefs() []ids.RefID {
+	var out []ids.RefID
+	for r, e := range a.Entries {
+		if e.InTarget {
+			out = append(out, r)
+		}
+	}
+	ids.SortRefIDs(out)
+	return out
+}
+
+// MatchResult is the outcome of algebra matching at one process (§3 "CDM
+// Matching").
+type MatchResult struct {
+	// Unresolved lists references in the source set with no matching target
+	// entry: dependencies not yet traced (e.g. {Y_P5} in §3.1 step 10).
+	Unresolved []ids.RefID
+	// Frontier lists references in the target set with no matching source
+	// entry: the wave front of the detection.
+	Frontier []ids.RefID
+	// Abort is set when a reference present in both sets carries different
+	// invocation counters: a remote invocation raced the detection (§3.2
+	// step 8: "different IC values (x and x+1) ... detection abort").
+	Abort bool
+	// AbortRef names the reference that triggered the abort.
+	AbortRef ids.RefID
+	// CycleFound is set when the reduced SOURCE set is empty and no abort
+	// occurred: every dependency scion has been traversed with consistent
+	// invocation counters.
+	//
+	// The paper states the condition as "Matching(Alg_4) => {{} -> {}}"
+	// because with its per-path derivations a completed cycle leaves both
+	// sets empty. With this package's merged derivations (see
+	// Detector.expand) followed-but-dead-end stubs legitimately remain as
+	// frontier leftovers, so the safe and complete condition is
+	// source-empty: each matched source scion is proven (a) not locally
+	// reachable at its holder (Local.Reach false on the followed stub) and
+	// (b) reachable only through scions that are themselves in the matched
+	// source set — a closed induction showing no root reaches any of them.
+	// Frontier-only entries never participate in that proof.
+	CycleFound bool
+}
+
+// Match performs algebraic matching. It is a pure view: the algebra itself
+// is not reduced, because the full sets are still needed by downstream
+// processes (the paper's Alg_n always carries full sets).
+func (a Alg) Match() MatchResult {
+	var res MatchResult
+	for r, e := range a.Entries {
+		switch {
+		case e.InSource && e.InTarget:
+			if e.SrcIC != e.TgtIC {
+				res.Abort = true
+				// Prefer the smallest aborting ref for determinism.
+				if res.AbortRef == (ids.RefID{}) || r.Less(res.AbortRef) {
+					res.AbortRef = r
+				}
+			}
+		case e.InSource:
+			res.Unresolved = append(res.Unresolved, r)
+		case e.InTarget:
+			res.Frontier = append(res.Frontier, r)
+		}
+	}
+	ids.SortRefIDs(res.Unresolved)
+	ids.SortRefIDs(res.Frontier)
+	res.CycleFound = !res.Abort && len(res.Unresolved) == 0
+	return res
+}
+
+// Merge unions b's entries into a. changed reports whether a grew;
+// conflict reports that some reference carries different invocation
+// counters on the same side in a and b — two inconsistent observations of
+// the same reference, i.e. a mutator race (the detection must abort).
+//
+// Merging is how a node combines CDMs of one detection that arrived over
+// different paths: the CDM-Graph is a set of consistent snapshot fragments,
+// and the union of two consistent sets is consistent exactly when the
+// counter equality holds. Nodes keep the merged algebra as droppable cache
+// state — losing it costs repeated work, never correctness.
+func (a Alg) Merge(b Alg) (changed, conflict bool) {
+	for r, eb := range b.Entries {
+		ea, ok := a.Entries[r]
+		if !ok {
+			a.Entries[r] = eb
+			changed = true
+			continue
+		}
+		merged := ea
+		if eb.InSource {
+			if ea.InSource {
+				if ea.SrcIC != eb.SrcIC {
+					conflict = true
+				}
+			} else {
+				merged.InSource = true
+				merged.SrcIC = eb.SrcIC
+				changed = true
+			}
+		}
+		if eb.InTarget {
+			if ea.InTarget {
+				if ea.TgtIC != eb.TgtIC {
+					conflict = true
+				}
+			} else {
+				merged.InTarget = true
+				merged.TgtIC = eb.TgtIC
+				changed = true
+			}
+		}
+		a.Entries[r] = merged
+	}
+	return changed, conflict
+}
+
+// Fingerprint returns an order-independent 64-bit hash of the algebra's
+// entries. Receivers use it (together with the detection id and arrival
+// reference) to deduplicate CDMs that arrive through different paths with
+// identical content; dropping such duplicates is always safe because CDM
+// processing is deterministic.
+func (a Alg) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	// XOR of per-entry FNV-1a hashes: commutative, so no sorting needed.
+	var acc uint64
+	for r, e := range a.Entries {
+		h := uint64(offset64)
+		mix := func(s string) {
+			for i := 0; i < len(s); i++ {
+				h ^= uint64(s[i])
+				h *= prime64
+			}
+			h ^= 0xFF
+			h *= prime64
+		}
+		mixU := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				h ^= v & 0xFF
+				h *= prime64
+				v >>= 8
+			}
+		}
+		mix(string(r.Src))
+		mix(string(r.Dst.Node))
+		mixU(uint64(r.Dst.Obj))
+		var bits uint64
+		if e.InSource {
+			bits |= 1
+		}
+		if e.InTarget {
+			bits |= 2
+		}
+		mixU(bits)
+		mixU(e.SrcIC)
+		mixU(e.TgtIC)
+		acc ^= h
+	}
+	return acc
+}
+
+// String renders the algebra in the paper's notation, e.g.
+// "{{P1->6@P2} -> {P2->17@P4}}", with invocation counters shown when
+// non-zero.
+func (a Alg) String() string {
+	var b strings.Builder
+	b.WriteString("{{")
+	writeSide(&b, a.SourceRefs(), a.Entries, true)
+	b.WriteString("} -> {")
+	writeSide(&b, a.TargetRefs(), a.Entries, false)
+	b.WriteString("}}")
+	return b.String()
+}
+
+func writeSide(b *strings.Builder, refs []ids.RefID, entries map[ids.RefID]Entry, source bool) {
+	for i, r := range refs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		e := entries[r]
+		ic := e.TgtIC
+		if source {
+			ic = e.SrcIC
+		}
+		if ic != 0 {
+			fmt.Fprintf(b, "{%s, %d}", r, ic)
+		} else {
+			b.WriteString(r.String())
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dgc/internal/ids"
+)
+
+func ref(src ids.NodeID, dstNode ids.NodeID, obj ids.ObjID) ids.RefID {
+	return ids.RefID{Src: src, Dst: ids.GlobalRef{Node: dstNode, Obj: obj}}
+}
+
+func TestAddSourceAndTarget(t *testing.T) {
+	a := NewAlg()
+	r := ref("P1", "P2", 6)
+	changed, conflict := a.AddSource(r, 3)
+	if !changed || conflict {
+		t.Fatalf("first AddSource: changed=%v conflict=%v", changed, conflict)
+	}
+	// Same IC: no change, no conflict.
+	changed, conflict = a.AddSource(r, 3)
+	if changed || conflict {
+		t.Fatalf("repeat AddSource: changed=%v conflict=%v", changed, conflict)
+	}
+	// Different IC: conflict (race).
+	_, conflict = a.AddSource(r, 4)
+	if !conflict {
+		t.Fatal("AddSource with different IC must conflict")
+	}
+	// Target side is independent.
+	changed, conflict = a.AddTarget(r, 7)
+	if !changed || conflict {
+		t.Fatalf("AddTarget: changed=%v conflict=%v", changed, conflict)
+	}
+	if _, conflict = a.AddTarget(r, 8); !conflict {
+		t.Fatal("AddTarget with different IC must conflict")
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (same ref, two bits)", a.Len())
+	}
+}
+
+func TestMatchPaperFigure3Steps(t *testing.T) {
+	// Reproduces the matching results of §3 steps 6, 13, 19, 25 using the
+	// paper's cycle: F_P2 -> Q_P4 -> O_P3 -> D_P1 -> F_P2.
+	refF := ref("P1", "P2", 1) // scion of F at P2, stub at P1
+	refQ := ref("P2", "P4", 2)
+	refO := ref("P4", "P3", 3)
+	refD := ref("P3", "P1", 4)
+
+	// Alg_1 = {{F} -> {Q}}: Matching => {{F} -> {Q}}, no cycle.
+	a := NewAlg()
+	a.AddSource(refF, 0)
+	a.AddTarget(refQ, 0)
+	m := a.Match()
+	if m.CycleFound || m.Abort {
+		t.Fatalf("Alg_1 match: %+v", m)
+	}
+	if len(m.Unresolved) != 1 || m.Unresolved[0] != refF {
+		t.Fatalf("Alg_1 unresolved = %v", m.Unresolved)
+	}
+	if len(m.Frontier) != 1 || m.Frontier[0] != refQ {
+		t.Fatalf("Alg_1 frontier = %v", m.Frontier)
+	}
+
+	// Alg_3 = {{F,Q,O} -> {Q,O,D}}: Matching => {{F} -> {D}}.
+	a.AddSource(refQ, 0)
+	a.AddTarget(refO, 0)
+	a.AddSource(refO, 0)
+	a.AddTarget(refD, 0)
+	m = a.Match()
+	if len(m.Unresolved) != 1 || m.Unresolved[0] != refF ||
+		len(m.Frontier) != 1 || m.Frontier[0] != refD || m.CycleFound {
+		t.Fatalf("Alg_3 match: %+v", m)
+	}
+
+	// Alg_4 = {{F,Q,O,D} -> {Q,O,D,F}}: Matching => {{} -> {}}, cycle.
+	a.AddSource(refD, 0)
+	a.AddTarget(refF, 0)
+	m = a.Match()
+	if !m.CycleFound || m.Abort || len(m.Unresolved) != 0 || len(m.Frontier) != 0 {
+		t.Fatalf("Alg_4 match: %+v", m)
+	}
+}
+
+func TestMatchICMismatchAborts(t *testing.T) {
+	// §3.2 step 7-8: Matching(Alg_4a) => {{{F,x}} -> {{F,x+1}}} aborts.
+	refF := ref("P1", "P2", 1)
+	a := NewAlg()
+	a.AddSource(refF, 5)
+	a.AddTarget(refF, 6)
+	m := a.Match()
+	if !m.Abort {
+		t.Fatal("IC mismatch must abort")
+	}
+	if m.CycleFound {
+		t.Fatal("aborted match must not report a cycle")
+	}
+	if m.AbortRef != refF {
+		t.Fatalf("AbortRef = %v", m.AbortRef)
+	}
+}
+
+func TestMatchEmptyAlgebraIsCycle(t *testing.T) {
+	// Degenerate: an empty algebra matches to {{} -> {}}. The detector
+	// never produces this (detections start with at least one entry) but
+	// Match must be total.
+	if m := NewAlg().Match(); !m.CycleFound {
+		t.Fatalf("empty match: %+v", m)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := NewAlg()
+	a.AddSource(ref("P1", "P2", 1), 1)
+	a.AddTarget(ref("P2", "P4", 2), 2)
+
+	b := a.Clone()
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("clone not equal")
+	}
+	b.AddTarget(ref("P4", "P3", 3), 0)
+	if a.Equal(b) {
+		t.Fatal("grown clone still equal")
+	}
+	if a.Len() != 2 || b.Len() != 3 {
+		t.Fatalf("lens = %d, %d", a.Len(), b.Len())
+	}
+	// Same refs, different IC: not equal.
+	c := a.Clone()
+	c.Entries[ref("P1", "P2", 1)] = Entry{InSource: true, SrcIC: 99}
+	if a.Equal(c) {
+		t.Fatal("different IC still equal")
+	}
+}
+
+func TestSourceAndTargetRefsSorted(t *testing.T) {
+	a := NewAlg()
+	a.AddSource(ref("P3", "P1", 4), 0)
+	a.AddSource(ref("P1", "P2", 1), 0)
+	a.AddTarget(ref("P2", "P4", 2), 0)
+	src := a.SourceRefs()
+	if len(src) != 2 || !src[0].Less(src[1]) {
+		t.Fatalf("SourceRefs = %v", src)
+	}
+	tgt := a.TargetRefs()
+	if len(tgt) != 1 || tgt[0] != ref("P2", "P4", 2) {
+		t.Fatalf("TargetRefs = %v", tgt)
+	}
+}
+
+func TestAlgString(t *testing.T) {
+	a := NewAlg()
+	a.AddSource(ref("P1", "P2", 6), 3)
+	a.AddTarget(ref("P2", "P4", 17), 0)
+	s := a.String()
+	if !strings.Contains(s, "{P1->6@P2, 3}") || !strings.Contains(s, "P2->17@P4") {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.HasPrefix(s, "{{") || !strings.HasSuffix(s, "}}") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: matching is consistent with set semantics — every ref lands in
+// exactly one of {matched, unresolved, frontier}, and CycleFound iff both
+// reduced sets empty and no abort.
+func TestMatchPartitionProperty(t *testing.T) {
+	f := func(srcBits, tgtBits uint16, icSeed uint8) bool {
+		a := NewAlg()
+		var refs []ids.RefID
+		for i := 0; i < 10; i++ {
+			refs = append(refs, ref("P1", "P2", ids.ObjID(i)))
+		}
+		for i, r := range refs {
+			if srcBits&(1<<i) != 0 {
+				a.AddSource(r, uint64(icSeed%3))
+			}
+			if tgtBits&(1<<i) != 0 {
+				a.AddTarget(r, uint64(icSeed%3))
+			}
+		}
+		m := a.Match()
+		if m.Abort {
+			return false // ICs identical by construction: never aborts
+		}
+		nBoth := 0
+		for i := range refs {
+			s := srcBits&(1<<i) != 0
+			g := tgtBits&(1<<i) != 0
+			if s && g {
+				nBoth++
+			}
+		}
+		wantUnresolved := popcount16(srcBits&^tgtBits, 10)
+		wantFrontier := popcount16(tgtBits&^srcBits, 10)
+		if len(m.Unresolved) != wantUnresolved || len(m.Frontier) != wantFrontier {
+			return false
+		}
+		// Cycle-found is exactly "source fully matched" (see MatchResult).
+		return m.CycleFound == (wantUnresolved == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func popcount16(v uint16, width int) int {
+	n := 0
+	for i := 0; i < width; i++ {
+		if v&(1<<i) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Property: Clone is independent and Equal is an equivalence on the
+// generated algebras.
+func TestCloneIndependenceProperty(t *testing.T) {
+	f := func(bits uint8) bool {
+		a := NewAlg()
+		for i := 0; i < 8; i++ {
+			if bits&(1<<i) != 0 {
+				a.AddSource(ref("P1", "P2", ids.ObjID(i)), uint64(i))
+			}
+		}
+		b := a.Clone()
+		b.AddTarget(ref("P9", "P8", 99), 1)
+		if _, ok := a.Entries[ref("P9", "P8", 99)]; ok {
+			return false // leaked into original
+		}
+		return a.Equal(a.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

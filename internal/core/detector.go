@@ -1,0 +1,317 @@
+package core
+
+import (
+	"dgc/internal/ids"
+	"dgc/internal/snapshot"
+)
+
+// DetectionID names one cycle detection: the process that initiated it and a
+// per-origin sequence number. Several detections proceed in parallel without
+// conflict (§3.1); intermediate processes keep NO state about detections in
+// course — a design point the paper contrasts with back-tracing and
+// group-merger collectors.
+type DetectionID struct {
+	Origin ids.NodeID
+	Seq    uint64
+}
+
+// Config tunes a node's detector.
+type Config struct {
+	// BroadcastDelete, when set, makes a cycle-finding node send DeleteScion
+	// notifications for the source-set scions owned by other processes,
+	// short-cutting the acyclic collector's cascade. When unset (the
+	// paper's behaviour), only the finder's own scions are deleted and the
+	// cascade unravels the rest.
+	BroadcastDelete bool
+	// MaxAlgebraSize aborts detections whose CDM grows beyond this many
+	// references; 0 means unlimited. A deployment safety valve, not needed
+	// for termination (the algebra grows monotonically within a finite
+	// reference set).
+	MaxAlgebraSize int
+	// MaxHops drops CDMs that have been forwarded more than this many
+	// times; 0 uses DefaultMaxHops. Dropping a CDM is always safe; the hop
+	// budget bounds worst-case traffic on pathological graphs.
+	MaxHops int
+	// EagerAbort enables the optimization of §3.2: before forwarding a
+	// derivation, the process analyzes the counters in the algebra it is
+	// about to send and aborts locally on a mismatch instead of letting
+	// the next hop discover it. "However, that is not required to
+	// maintain safety" — off by default, benchmarked as an ablation.
+	EagerAbort bool
+}
+
+// DefaultMaxHops is the CDM hop budget used when Config.MaxHops is zero. A
+// detection needs at most O(|closure|) strictly-growing hops, so 256 covers
+// any realistic cycle while bounding adversarial topologies.
+const DefaultMaxHops = 256
+
+// Actions is the detector's outbound interface, implemented by the node: it
+// decouples the algorithm from transport and tables.
+type Actions interface {
+	// SendCDM forwards a CDM derivation along the stub `along`
+	// (along.Src is the local node, along.Dst the remote object). hops is
+	// the derivation's forwarding depth, carried in the message.
+	SendCDM(det DetectionID, along ids.RefID, alg Alg, hops int)
+	// DeleteOwnScion removes the local scion for ref (ref.Dst.Node is the
+	// local node) and must trigger acyclic-DGC reclamation.
+	DeleteOwnScion(ref ids.RefID)
+	// SendDeleteScion notifies ref.Dst.Node that the scion for ref belongs
+	// to a detected garbage cycle (only used with BroadcastDelete).
+	SendDeleteScion(det DetectionID, ref ids.RefID)
+}
+
+// OutcomeKind classifies the result of processing one CDM (or starting a
+// detection).
+type OutcomeKind int
+
+const (
+	// OutcomeDropped: the CDM referenced a scion absent from the current
+	// summarized snapshot (safety rules 1/2, §2.2) — silently discarded.
+	OutcomeDropped OutcomeKind = iota
+	// OutcomeAborted: an invocation-counter mismatch proved a mutator race
+	// (safety rule 3) — detection terminated.
+	OutcomeAborted
+	// OutcomeCycleFound: matching reduced the CDM to {{} -> {}}.
+	OutcomeCycleFound
+	// OutcomeForwarded: one or more derivations were sent (safety rule 4).
+	OutcomeForwarded
+	// OutcomeBranchEnded: nothing forwarded — every outgoing stub was
+	// locally reachable, carried no new information, or the algebra size
+	// valve tripped.
+	OutcomeBranchEnded
+)
+
+// String returns a short human-readable name.
+func (k OutcomeKind) String() string {
+	switch k {
+	case OutcomeDropped:
+		return "dropped"
+	case OutcomeAborted:
+		return "aborted"
+	case OutcomeCycleFound:
+		return "cycle-found"
+	case OutcomeForwarded:
+		return "forwarded"
+	case OutcomeBranchEnded:
+		return "branch-ended"
+	default:
+		return "unknown"
+	}
+}
+
+// Outcome reports the processing of one CDM delivery or detection start.
+type Outcome struct {
+	Kind OutcomeKind
+	// Forwarded counts CDM derivations sent.
+	Forwarded int
+	// GarbageScions holds, for OutcomeCycleFound, every scion of the
+	// detected cycle (the full source set).
+	GarbageScions []ids.RefID
+	// Derived is the algebra that was forwarded (OutcomeForwarded only).
+	// Callers that accumulate per-detection state merge it back so later
+	// expansions recognize already-shipped information.
+	Derived *Alg
+}
+
+// Stats counts detector activity on one node.
+type Stats struct {
+	Started     uint64
+	CDMsSent    uint64
+	CDMsHandled uint64
+	Dropped     uint64
+	Aborted     uint64
+	CyclesFound uint64
+	ScionsFreed uint64
+}
+
+// Detector runs the DCDA for one process. It is driven entirely by the
+// owning node (which serializes calls) and touches only summarized
+// snapshots — never the live heap — so it needs no synchronization with the
+// mutator (§3.2 "there is no contention between the mutator and the DCDA").
+type Detector struct {
+	self    ids.NodeID
+	cfg     Config
+	actions Actions
+	seq     uint64
+	Stats   Stats
+}
+
+// NewDetector returns a detector for the given node.
+func NewDetector(self ids.NodeID, cfg Config, actions Actions) *Detector {
+	return &Detector{self: self, cfg: cfg, actions: actions}
+}
+
+// Self returns the owning node's identifier.
+func (d *Detector) Self() ids.NodeID { return d.self }
+
+// StartDetection initiates a cycle detection with the given scion as
+// candidate (the scion plays the role of F_P2 in §3). The candidate must be
+// a scion of this node present in sum. Returns the detection id and an
+// outcome; detections that cannot make a first hop (locally reachable
+// candidate, no outgoing stubs) report OutcomeBranchEnded or OutcomeDropped
+// and send nothing.
+func (d *Detector) StartDetection(sum *snapshot.Summary, candidate ids.RefID) (DetectionID, Outcome) {
+	d.seq++
+	det := DetectionID{Origin: d.self, Seq: d.seq}
+	sc := sum.Scion(candidate)
+	if sc == nil {
+		d.Stats.Dropped++
+		return det, Outcome{Kind: OutcomeDropped}
+	}
+	if sc.LocalReach {
+		// Locally reachable objects are live by definition; never trace.
+		return det, Outcome{Kind: OutcomeBranchEnded}
+	}
+	d.Stats.Started++
+	out := d.expand(sum, det, sc, NewAlg(), 0)
+	return det, out
+}
+
+// HandleCDM processes a CDM delivered along the reference `along`
+// (along.Dst.Node must be this node). sum is the node's current summarized
+// snapshot; hops is the forwarding depth carried by the message.
+func (d *Detector) HandleCDM(sum *snapshot.Summary, det DetectionID, along ids.RefID, alg Alg, hops int) Outcome {
+	d.Stats.CDMsHandled++
+
+	// Safety rules 1/2 (§2.2): the reference must have a scion in the
+	// current summary. A CDM for a scion created after the last
+	// summarization, or already deleted, is simply discarded ("these CDM
+	// are simply discarded and those detections terminated", §3.2).
+	sc := sum.Scion(along)
+	if sc == nil {
+		d.Stats.Dropped++
+		return Outcome{Kind: OutcomeDropped}
+	}
+
+	// Arrival guard (safety rule 3): the sender recorded its stub-side
+	// counter for `along`; our scion-side counter must agree, otherwise an
+	// invocation crossed this reference between the two snapshots.
+	if e, ok := alg.Entries[along]; ok && e.InTarget && e.TgtIC != sc.IC {
+		d.Stats.Aborted++
+		return Outcome{Kind: OutcomeAborted}
+	}
+
+	// CDM matching at delivery (§3 steps 6, 13, 19, 25...).
+	m := alg.Match()
+	if m.Abort {
+		d.Stats.Aborted++
+		return Outcome{Kind: OutcomeAborted}
+	}
+	if m.CycleFound {
+		return d.cycleFound(det, alg)
+	}
+
+	// Safety rule 4: combine the CDM with this process's snapshot and
+	// continue detection.
+	return d.expand(sum, det, sc, alg, hops)
+}
+
+// cycleFound deletes this node's scions named in the CDM source set and,
+// optionally, notifies the owners of the remaining ones.
+func (d *Detector) cycleFound(det DetectionID, alg Alg) Outcome {
+	d.Stats.CyclesFound++
+	garbage := alg.SourceRefs()
+	for _, ref := range garbage {
+		if ref.Dst.Node == d.self {
+			d.actions.DeleteOwnScion(ref)
+			d.Stats.ScionsFreed++
+		} else if d.cfg.BroadcastDelete {
+			d.actions.SendDeleteScion(det, ref)
+		}
+	}
+	return Outcome{Kind: OutcomeCycleFound, GarbageScions: garbage}
+}
+
+// HandleDeleteScion processes a DeleteScion notification (BroadcastDelete
+// mode): the sender proved ref's scion belongs to a garbage cycle.
+func (d *Detector) HandleDeleteScion(ref ids.RefID) {
+	if ref.Dst.Node != d.self {
+		return
+	}
+	d.actions.DeleteOwnScion(ref)
+	d.Stats.ScionsFreed++
+}
+
+// expand implements the forwarding step: from the scion sc (either the
+// candidate at detection start or the scion a CDM arrived at), build ONE
+// derivation that merges every followable stub and its dependencies into
+// the algebra, and forward it along each of those stubs.
+//
+// The paper's worked examples derive a separate algebra per stub (Alg_1a,
+// Alg_1b, ...); merging is equivalent for detection purposes — cycle-found
+// still requires every source scion matched by a consistently-countered
+// stub — but makes the algebra a function of the VISITED SET rather than
+// the traversal order. Per-path derivations explode combinatorially on
+// dense graphs (every interleaving of a diamond yields a distinct algebra
+// that keeps breeding); the merged form converges to the closure in
+// O(closure) growth steps and lets receivers deduplicate identical CDMs.
+func (d *Detector) expand(sum *snapshot.Summary, det DetectionID, sc *snapshot.ScionSummary, alg Alg, hops int) Outcome {
+	maxHops := d.cfg.MaxHops
+	if maxHops <= 0 {
+		maxHops = DefaultMaxHops
+	}
+	if hops >= maxHops {
+		return Outcome{Kind: OutcomeBranchEnded}
+	}
+
+	derived := alg.Clone()
+	conflict := false
+	var eligible []ids.GlobalRef
+	for _, tgt := range sc.StubsFrom {
+		st := sum.Stub(tgt)
+		if st == nil {
+			// Stub vanished from the summary (rule 2's mirror): the path
+			// cannot be followed consistently; skip it.
+			continue
+		}
+		if st.LocalReach {
+			// "Those stubs that are locally reachable are immediately
+			// discarded from the point of view of the DCDA" (§2.1): the
+			// path may be live; do not follow it.
+			continue
+		}
+		eligible = append(eligible, tgt)
+		if _, c := derived.AddTarget(ids.RefID{Src: d.self, Dst: tgt}, st.IC); c {
+			conflict = true
+		}
+		// "All other scions that may lead to any of the aforementioned
+		// stubs are included as dependencies" (§2.1, §3.1 step 5).
+		for _, dep := range st.ScionsTo {
+			depSc := sum.Scion(dep)
+			if depSc == nil {
+				continue
+			}
+			if _, c := derived.AddSource(dep, depSc.IC); c {
+				conflict = true
+			}
+		}
+	}
+	if conflict {
+		// Same reference observed with two different counters: race.
+		d.Stats.Aborted++
+		return Outcome{Kind: OutcomeAborted}
+	}
+	if d.cfg.EagerAbort {
+		// §3.2 optimization: analyze unmatched counters before sending.
+		if m := derived.Match(); m.Abort {
+			d.Stats.Aborted++
+			return Outcome{Kind: OutcomeAborted}
+		}
+	}
+	if len(eligible) == 0 {
+		return Outcome{Kind: OutcomeBranchEnded}
+	}
+	if derived.Equal(alg) {
+		// §3.1 step 15: the derivation holds no new information — the
+		// branch would loop forever denouncing the same dependency.
+		return Outcome{Kind: OutcomeBranchEnded}
+	}
+	if d.cfg.MaxAlgebraSize > 0 && derived.Len() > d.cfg.MaxAlgebraSize {
+		return Outcome{Kind: OutcomeBranchEnded}
+	}
+	for _, tgt := range eligible {
+		d.actions.SendCDM(det, ids.RefID{Src: d.self, Dst: tgt}, derived, hops+1)
+		d.Stats.CDMsSent++
+	}
+	return Outcome{Kind: OutcomeForwarded, Forwarded: len(eligible), Derived: &derived}
+}

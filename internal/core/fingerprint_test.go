@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dgc/internal/ids"
+)
+
+func randomAlg(rng *rand.Rand) Alg {
+	a := NewAlg()
+	n := rng.Intn(12)
+	for i := 0; i < n; i++ {
+		r := ids.RefID{
+			Src: ids.NodeID([]string{"P1", "P2", "P3"}[rng.Intn(3)]),
+			Dst: ids.GlobalRef{Node: ids.NodeID([]string{"P4", "P5"}[rng.Intn(2)]), Obj: ids.ObjID(rng.Intn(6))},
+		}
+		if rng.Intn(2) == 0 {
+			a.AddSource(r, uint64(rng.Intn(4)))
+		}
+		if rng.Intn(2) == 0 {
+			a.AddTarget(r, uint64(rng.Intn(4)))
+		}
+	}
+	return a
+}
+
+// TestFingerprintEqualityProperty: equal algebras have equal fingerprints
+// regardless of construction order (the hash is order-independent).
+func TestFingerprintEqualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomAlg(rng)
+		// Rebuild the same algebra in a shuffled insertion order.
+		type entry struct {
+			ref ids.RefID
+			e   Entry
+		}
+		var entries []entry
+		for r, e := range a.Entries {
+			entries = append(entries, entry{r, e})
+		}
+		rng.Shuffle(len(entries), func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+		b := NewAlg()
+		for _, en := range entries {
+			if en.e.InSource {
+				b.AddSource(en.ref, en.e.SrcIC)
+			}
+			if en.e.InTarget {
+				b.AddTarget(en.ref, en.e.TgtIC)
+			}
+		}
+		if !a.Equal(b) {
+			return false
+		}
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFingerprintSensitivity: mutating any aspect of an entry (presence
+// bits or counters) changes the fingerprint. Not a collision-resistance
+// proof — a sanity check that every field participates.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := NewAlg()
+	r1 := ids.RefID{Src: "P1", Dst: ids.GlobalRef{Node: "P2", Obj: 1}}
+	r2 := ids.RefID{Src: "P3", Dst: ids.GlobalRef{Node: "P4", Obj: 2}}
+	base.AddSource(r1, 3)
+	base.AddTarget(r2, 5)
+	fp := base.Fingerprint()
+
+	variants := []func(Alg){
+		func(a Alg) { a.Entries[r1] = Entry{InSource: true, SrcIC: 4} },                           // IC change
+		func(a Alg) { a.AddTarget(r1, 3) },                                                        // extra bit
+		func(a Alg) { delete(a.Entries, r2) },                                                     // entry removed
+		func(a Alg) { a.AddSource(ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P2"}}, 0) },      // entry added
+		func(a Alg) { a.Entries[r2] = Entry{InSource: true, TgtIC: 5, SrcIC: 0, InTarget: true} }, // bit flip
+	}
+	for i, mutate := range variants {
+		v := base.Clone()
+		mutate(v)
+		if v.Fingerprint() == fp {
+			t.Errorf("variant %d left the fingerprint unchanged", i)
+		}
+	}
+	if base.Fingerprint() != fp {
+		t.Error("fingerprint not deterministic")
+	}
+	if NewAlg().Fingerprint() != 0 {
+		t.Error("empty algebra should hash to zero")
+	}
+}

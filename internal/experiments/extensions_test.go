@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestLeaseAblationShowsUnsafety(t *testing.T) {
+	rows, err := LeaseAblation([]uint64{1, 3, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Plain reference listing is safe at every silence length.
+		if r.PlainReclaimed {
+			t.Fatalf("plain reference listing reclaimed a live object: %+v", r)
+		}
+	}
+	// Short silence (within the lease): leases are fine too.
+	if rows[0].LeaseReclaimed {
+		t.Errorf("lease expired within its duration: %+v", rows[0])
+	}
+	// Long silence (beyond the lease): the leased collector reclaims a
+	// LIVE object — the unsafety the ablation demonstrates.
+	if !rows[2].LeaseReclaimed {
+		t.Errorf("long silence did not expose lease unsafety: %+v", rows[2])
+	}
+	if rows[2].LeaseRenewalMsg == 0 {
+		t.Errorf("no renewal traffic counted: %+v", rows[2])
+	}
+}
+
+func TestDisruptionShapes(t *testing.T) {
+	rows, err := Disruption(3000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byCodec := map[string]DisruptionRow{}
+	for _, r := range rows {
+		byCodec[r.Codec] = r
+		if r.SnapshotPause <= 0 || r.InvokeLatency <= 0 {
+			t.Fatalf("non-positive measurement: %+v", r)
+		}
+	}
+	// Serializing costs more than not serializing; the naive codec costs
+	// the most (the paper's Rotor pain).
+	if byCodec["binary"].SnapshotPause < byCodec["none"].SnapshotPause {
+		t.Logf("note: binary pause below summarize-only (noise): %+v", rows)
+	}
+	if byCodec["reflect"].SnapshotPause <= byCodec["binary"].SnapshotPause {
+		t.Errorf("reflect pause (%v) not above binary (%v)",
+			byCodec["reflect"].SnapshotPause, byCodec["binary"].SnapshotPause)
+	}
+	// And the pause dwarfs a single invocation — the reason snapshots are
+	// taken "only sporadically" (§4).
+	if byCodec["reflect"].SnapshotPause < byCodec["reflect"].InvokeLatency {
+		t.Errorf("snapshot pause below one invocation: %+v", byCodec["reflect"])
+	}
+}

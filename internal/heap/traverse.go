@@ -1,0 +1,94 @@
+package heap
+
+import (
+	"dgc/internal/ids"
+)
+
+// ReachableFrom computes the set of objects transitively reachable from the
+// given seed objects following intra-process references only (inter-process
+// references are the boundary of the local trace; the distributed layers
+// handle them through stubs and scions). Seeds that do not exist are ignored.
+//
+// The traversal is breadth-first, matching the paper's summarizer ("it
+// transverses the graph, breadth-first, in order to minimize overhead").
+func (h *Heap) ReachableFrom(seeds ...ids.ObjID) map[ids.ObjID]struct{} {
+	visited := make(map[ids.ObjID]struct{})
+	queue := make([]ids.ObjID, 0, len(seeds))
+	for _, s := range seeds {
+		if h.Contains(s) {
+			if _, ok := visited[s]; !ok {
+				visited[s] = struct{}{}
+				queue = append(queue, s)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		o := h.objects[id]
+		for _, next := range o.Locals {
+			if !h.Contains(next) {
+				continue // dangling local ref to an already-swept object
+			}
+			if _, ok := visited[next]; !ok {
+				visited[next] = struct{}{}
+				queue = append(queue, next)
+			}
+		}
+	}
+	return visited
+}
+
+// ReachableFromRoots computes the locally reachable set: objects transitively
+// reachable from the process-local root set.
+func (h *Heap) ReachableFromRoots() map[ids.ObjID]struct{} {
+	return h.ReachableFrom(h.Roots()...)
+}
+
+// RemoteRefsFrom returns the distinct inter-process references held by
+// objects in the given set, in canonical order. This is the stub-set
+// computation: the stubs a process needs are exactly the remote references
+// held by its live objects.
+func (h *Heap) RemoteRefsFrom(set map[ids.ObjID]struct{}) []ids.GlobalRef {
+	seen := make(map[ids.GlobalRef]struct{})
+	for id := range set {
+		o := h.objects[id]
+		if o == nil {
+			continue
+		}
+		for _, r := range o.Remotes {
+			seen[r] = struct{}{}
+		}
+	}
+	out := make([]ids.GlobalRef, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	ids.SortGlobalRefs(out)
+	return out
+}
+
+// HoldersOf returns the set of objects that directly hold a remote reference
+// to target.
+func (h *Heap) HoldersOf(target ids.GlobalRef) map[ids.ObjID]struct{} {
+	holders := make(map[ids.ObjID]struct{})
+	for id, o := range h.objects {
+		for _, r := range o.Remotes {
+			if r == target {
+				holders[id] = struct{}{}
+				break
+			}
+		}
+	}
+	return holders
+}
+
+// EdgeCount returns the total number of intra-process plus inter-process
+// references in the heap. Used by workload generators and stats.
+func (h *Heap) EdgeCount() (local, remote int) {
+	for _, o := range h.objects {
+		local += len(o.Locals)
+		remote += len(o.Remotes)
+	}
+	return local, remote
+}

@@ -1,0 +1,110 @@
+// Package ids defines the identifier types shared by every layer of the
+// distributed garbage collector: node identifiers, object identifiers,
+// global references (an object qualified by its owning node) and reference
+// identifiers (one specific inter-process reference, the element type of the
+// CDM algebra).
+package ids
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID names a process in the distributed system. Node identifiers are
+// opaque strings (host:port for TCP deployments, symbolic names such as "P1"
+// in simulations and in the paper's examples).
+type NodeID string
+
+// ObjID identifies an object within a single process. Object identifiers are
+// allocated densely per node and are never reused within a run.
+type ObjID uint64
+
+// GlobalRef names an object anywhere in the distributed system: the node that
+// owns it plus its object identifier within that node.
+type GlobalRef struct {
+	Node NodeID
+	Obj  ObjID
+}
+
+// String renders the reference in the paper's subscript style, e.g. "F@P2".
+func (g GlobalRef) String() string {
+	return fmt.Sprintf("%d@%s", g.Obj, g.Node)
+}
+
+// IsZero reports whether g is the zero reference (no node and object 0).
+func (g GlobalRef) IsZero() bool { return g.Node == "" && g.Obj == 0 }
+
+// Less imposes a total order on global references (node, then object). Used
+// to produce deterministic iteration orders in snapshots, wire encoding and
+// test output.
+func (g GlobalRef) Less(o GlobalRef) bool {
+	if g.Node != o.Node {
+		return g.Node < o.Node
+	}
+	return g.Obj < o.Obj
+}
+
+// RefID identifies one inter-process reference: the node holding the
+// outgoing reference (Src) and the referenced object (Dst). A stub at Src and
+// a scion at Dst.Node describe the two ends of the same RefID.
+//
+// RefID is the element type of the CDM algebra. The paper denotes elements by
+// the target object alone (e.g. F_P2) because its examples have a single
+// incoming reference per object; keying by the full reference keeps matching
+// exact when an object has several scions.
+type RefID struct {
+	Src NodeID
+	Dst GlobalRef
+}
+
+// String renders the reference as "P1->F@P2".
+func (r RefID) String() string {
+	return fmt.Sprintf("%s->%s", r.Src, r.Dst)
+}
+
+// Less imposes a total order on reference identifiers.
+func (r RefID) Less(o RefID) bool {
+	if r.Src != o.Src {
+		return r.Src < o.Src
+	}
+	return r.Dst.Less(o.Dst)
+}
+
+// SortGlobalRefs sorts a slice of global references in place into the
+// canonical order defined by GlobalRef.Less.
+func SortGlobalRefs(refs []GlobalRef) {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Less(refs[j]) })
+}
+
+// SortRefIDs sorts a slice of reference identifiers in place into the
+// canonical order defined by RefID.Less.
+func SortRefIDs(refs []RefID) {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Less(refs[j]) })
+}
+
+// SortNodeIDs sorts node identifiers in place.
+func SortNodeIDs(nodes []NodeID) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+}
+
+// FormatRefSet renders a set of reference identifiers as a deterministic
+// brace-enclosed list, e.g. "{P1->2@P2, P3->7@P4}". Intended for logs and
+// test diagnostics.
+func FormatRefSet(set map[RefID]struct{}) string {
+	refs := make([]RefID, 0, len(set))
+	for r := range set {
+		refs = append(refs, r)
+	}
+	SortRefIDs(refs)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, r := range refs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

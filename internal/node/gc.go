@@ -1,0 +1,199 @@
+package node
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"dgc/internal/core"
+	"dgc/internal/ids"
+	"dgc/internal/lgc"
+	"dgc/internal/snapshot"
+	"dgc/internal/trace"
+	"dgc/internal/wire"
+)
+
+// Collector daemons. Each public entry locks; tests and the cluster
+// scheduler may also drive them through Tick.
+
+// Tick advances the node's logical clock by one, expires timed-out calls and
+// runs the periodic daemons configured in Config. The order within a tick is
+// LGC, then snapshot/summarize, then detection — matching the data flow
+// (detection consumes summaries, summaries consume post-LGC tables).
+func (n *Node) Tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clock++
+	n.expireCallsLocked()
+	if n.cfg.LGCEvery > 0 && n.clock%n.cfg.LGCEvery == 0 {
+		n.runLGCLocked()
+	}
+	if n.cfg.SnapshotEvery > 0 && n.clock%n.cfg.SnapshotEvery == 0 {
+		n.summarizeLocked()
+	}
+	if n.cfg.DetectEvery > 0 && n.clock%n.cfg.DetectEvery == 0 {
+		n.runDetectionLocked()
+	}
+}
+
+// Clock returns the node's logical time.
+func (n *Node) Clock() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.clock
+}
+
+func (n *Node) expireCallsLocked() {
+	for id, pc := range n.pendingCalls {
+		if pc.deadline != 0 && n.clock > pc.deadline {
+			delete(n.pendingCalls, id)
+			for _, r := range pc.pinned {
+				n.unpin(r)
+			}
+			n.stats.CallsFailed++
+			if pc.cb != nil {
+				pc.cb(Mutator{n: n}, Reply{OK: false, Err: "call timed out"})
+			}
+		}
+	}
+}
+
+// RunLGC performs one local collection and emits NewSetStubs messages.
+func (n *Node) RunLGC() lgc.Result {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.runLGCLocked()
+}
+
+func (n *Node) runLGCLocked() lgc.Result {
+	// Remember every current peer before the collection can delete their
+	// last stub, so they still receive the (empty) stub set that lets them
+	// reclaim scions.
+	for _, s := range n.table.Stubs() {
+		n.acyclic.NotePeer(s.Target.Node)
+	}
+	res := n.lgc.Collect(n.pinnedRefs()...)
+	n.stats.LGCRuns++
+	n.stats.ObjectsSwept += uint64(res.Swept)
+	n.emit(trace.KindLGC, "swept=%d live=%d stubs-deleted=%d", res.Swept, res.Live, res.StubsDeleted)
+
+	// "This new set of stubs is then sent to remote processes" (§1).
+	for _, ts := range n.acyclic.GenerateTargeted() {
+		n.stats.StubSetsSent++
+		n.send(ts.To, &wire.NewSetStubs{Set: ts.Msg})
+	}
+	return res
+}
+
+// Summarize takes a snapshot of the object graph and rebuilds the node's
+// summarized graph description (§3 "Graph Summarization"). When a codec is
+// configured the snapshot is serialized first — the operation whose cost §4
+// measures — and optionally written to SnapshotDir.
+func (n *Node) Summarize() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.summarizeLocked()
+}
+
+func (n *Node) summarizeLocked() error {
+	n.snapVersion++
+	if n.cfg.Codec != nil {
+		data, err := n.cfg.Codec.Encode(n.heap)
+		if err != nil {
+			return n.errf("snapshot encode: %v", err)
+		}
+		n.stats.SnapshotBytes += uint64(len(data))
+		if n.cfg.SnapshotDir != "" {
+			path := filepath.Join(n.cfg.SnapshotDir,
+				fmt.Sprintf("%s-%06d.%s.snap", n.id, n.snapVersion, n.cfg.Codec.Name()))
+			if err := snapshot.WriteFile(n.cfg.Codec, n.heap, path); err != nil {
+				return err
+			}
+		}
+	}
+	n.summary = snapshot.Summarize(n.heap, n.table, n.snapVersion)
+	n.stats.Summarizations++
+	n.emit(trace.KindSummarize, "version=%d scions=%d stubs=%d",
+		n.snapVersion, len(n.summary.Scions), len(n.summary.Stubs))
+	// A new summary changes CDM processing results: reset the accumulators
+	// so stale drops cannot mask newly-useful deliveries.
+	n.cdmAcc = make(map[core.DetectionID]*detAcc)
+	n.cdmAborted = make(map[core.DetectionID]struct{})
+	return nil
+}
+
+// RunDetection nominates cycle candidates from the current summary and
+// starts detections, up to Config.MaxDetectionsPerRound. It returns the
+// number started.
+func (n *Node) RunDetection() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.runDetectionLocked()
+}
+
+func (n *Node) runDetectionLocked() int {
+	if n.summary == nil {
+		return 0
+	}
+	cands := n.selector.Candidates(n.summary, n.clock)
+	if n.cfg.MaxDetectionsPerRound > 0 && len(cands) > n.cfg.MaxDetectionsPerRound {
+		// Rotate through the candidate list across rounds so a bounded
+		// budget still eventually tries every candidate (completeness: a
+		// detection started at a dependency-blocked scion fails until its
+		// upstream is reclaimed, so no fixed prefix may monopolize the
+		// budget).
+		k := n.cfg.MaxDetectionsPerRound
+		off := int(n.detectCursor) % len(cands)
+		rotated := make([]ids.RefID, 0, k)
+		for i := 0; i < k; i++ {
+			rotated = append(rotated, cands[(off+i)%len(cands)])
+		}
+		n.detectCursor += uint64(k)
+		cands = rotated
+	}
+	started := 0
+	for _, c := range cands {
+		det, out := n.detector.StartDetection(n.summary, c)
+		if out.Kind == core.OutcomeForwarded {
+			started++
+			n.emit(trace.KindDetectionStart, "det=%s/%d candidate=%s", det.Origin, det.Seq, c)
+		}
+	}
+	return started
+}
+
+// Summary returns the node's current summarized snapshot (nil before the
+// first summarization). The summary is immutable; callers may read it
+// without holding the node lock.
+func (n *Node) Summary() *snapshot.Summary {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.summary
+}
+
+// detectorActions adapts Node to core.Actions. Methods are invoked by the
+// detector, which only runs under the node lock.
+type detectorActions Node
+
+// SendCDM implements core.Actions.
+func (a *detectorActions) SendCDM(det core.DetectionID, along ids.RefID, alg core.Alg, hops int) {
+	n := (*Node)(a)
+	n.send(along.Dst.Node, wire.NewCDM(det, along, alg, hops))
+}
+
+// DeleteOwnScion implements core.Actions: the detector proved the scion
+// belongs to a distributed garbage cycle.
+func (a *detectorActions) DeleteOwnScion(ref ids.RefID) {
+	n := (*Node)(a)
+	if ref.Dst.Node != n.id {
+		return
+	}
+	n.table.DeleteScion(ref.Src, ref.Dst.Obj)
+	n.selector.Forget(ref)
+	n.emit(trace.KindScionDeleted, "ref=%s reason=cycle", ref)
+}
+
+// SendDeleteScion implements core.Actions (BroadcastDelete mode).
+func (a *detectorActions) SendDeleteScion(det core.DetectionID, ref ids.RefID) {
+	n := (*Node)(a)
+	n.send(ref.Dst.Node, &wire.DeleteScion{Det: det, Ref: ref})
+}

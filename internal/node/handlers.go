@@ -1,0 +1,130 @@
+package node
+
+import (
+	"dgc/internal/core"
+	"dgc/internal/ids"
+	"dgc/internal/trace"
+	"dgc/internal/wire"
+)
+
+// HandleMessage is the transport delivery entry point. It dispatches every
+// protocol message under the node lock; unknown messages are ignored
+// (datagram semantics).
+func (n *Node) HandleMessage(from ids.NodeID, msg wire.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	switch m := msg.(type) {
+	case *wire.InvokeRequest:
+		n.handleInvokeRequest(m)
+	case *wire.InvokeReply:
+		n.handleInvokeReply(m)
+	case *wire.CreateScion:
+		n.handleCreateScion(m)
+	case *wire.CreateScionAck:
+		n.handleCreateScionAck(m)
+	case *wire.NewSetStubs:
+		n.handleNewSetStubs(m)
+	case *wire.CDM:
+		n.handleCDM(m)
+	case *wire.DeleteScion:
+		n.detector.HandleDeleteScion(m.Ref)
+	default:
+		// Baseline traffic and future kinds are not for this handler.
+	}
+}
+
+// handleCDM merges an arriving cycle detection message into the node's
+// per-detection accumulated algebra and processes the union.
+//
+// Accumulation is the key to polynomial traffic on dense graphs: CDMs of
+// one detection reach a node over many converging paths, each carrying a
+// different partial closure; merging them makes every processed delivery
+// STRICTLY GROW the node's view, bounding processed deliveries per
+// detection by the number of references in the closure. A delivery that
+// adds nothing is dropped; a delivery whose counters conflict with the
+// accumulated view is a mutator race and terminates the detection here.
+// The accumulator is droppable cache (cleared on summarization and when
+// full): losing it repeats work but never affects safety, preserving the
+// paper's "no correctness-critical per-detection state at intermediate
+// processes" property.
+func (n *Node) handleCDM(m *wire.CDM) {
+	if _, aborted := n.cdmAborted[m.Det]; aborted {
+		n.stats.CDMsRaceDropped++
+		return
+	}
+	acc, ok := n.cdmAcc[m.Det]
+	if !ok {
+		if len(n.cdmAcc) >= cdmAccCap {
+			n.cdmAcc = make(map[core.DetectionID]*detAcc)
+			n.cdmAborted = make(map[core.DetectionID]struct{})
+		}
+		acc = &detAcc{alg: core.NewAlg(), alongs: make(map[ids.RefID]struct{})}
+		n.cdmAcc[m.Det] = acc
+	}
+	changed, conflict := acc.alg.Merge(m.Alg())
+	if conflict {
+		n.stats.CDMsRaceDropped++
+		delete(n.cdmAcc, m.Det)
+		n.cdmAborted[m.Det] = struct{}{}
+		return
+	}
+	_, knownAlong := acc.alongs[m.Along]
+	acc.alongs[m.Along] = struct{}{}
+	if !changed && knownAlong {
+		n.stats.CDMsDeduped++
+		return
+	}
+
+	// Process the union through EVERY scion this detection has arrived
+	// along: information that arrived via one scion must also flow out
+	// through the stubs reachable from the others, or converging paths
+	// would starve each other of the closure they jointly build.
+	alongs := make([]ids.RefID, 0, len(acc.alongs))
+	for a := range acc.alongs {
+		alongs = append(alongs, a)
+	}
+	ids.SortRefIDs(alongs)
+	for _, along := range alongs {
+		out := n.detector.HandleCDM(n.summary, m.Det, along, acc.alg, int(m.Hops))
+		if n.cfg.Trace != nil {
+			n.emit(trace.KindCDMHandled, "det=%s/%d along=%s outcome=%s entries=%d",
+				m.Det.Origin, m.Det.Seq, along, out.Kind, acc.alg.Len())
+			if out.Kind == core.OutcomeCycleFound {
+				n.emit(trace.KindCycleFound, "det=%s/%d scions=%d",
+					m.Det.Origin, m.Det.Seq, len(out.GarbageScions))
+			}
+		}
+		if out.Kind == core.OutcomeForwarded && out.Derived != nil {
+			// Fold the shipped derivation back into the union: later
+			// expansions then recognize it and stop re-forwarding
+			// information every downstream node already has.
+			if _, conflict := acc.alg.Merge(*out.Derived); conflict {
+				n.stats.CDMsRaceDropped++
+				delete(n.cdmAcc, m.Det)
+				n.cdmAborted[m.Det] = struct{}{}
+				return
+			}
+		}
+		if out.Kind == core.OutcomeCycleFound || out.Kind == core.OutcomeAborted {
+			break
+		}
+	}
+}
+
+// handleNewSetStubs applies a reference-listing stub set: scions from the
+// sender not listed are deleted and the objects they protected become
+// eligible for the next local collection. Caller holds the lock.
+func (n *Node) handleNewSetStubs(m *wire.NewSetStubs) {
+	deleted := n.acyclic.ApplyStubSet(m.Set)
+	n.stats.StubSetsApplied++
+	if len(deleted) == 0 {
+		return
+	}
+	n.stats.ScionsDropped += uint64(len(deleted))
+	for _, sc := range deleted {
+		ref := sc.RefID(n.id)
+		n.selector.Forget(ref)
+		n.emit(trace.KindScionDeleted, "ref=%s reason=stub-set", ref)
+	}
+}

@@ -1,0 +1,53 @@
+package node
+
+import (
+	"dgc/internal/ids"
+)
+
+// Builtin methods registered on every node. Together they let applications
+// (and the workload generators) perform arbitrary distributed graph
+// mutation through the remote-invocation path alone, which is what
+// exercises the stub/scion instrumentation the way the paper's remoting
+// layer does.
+//
+//	noop            — pure invocation: only bumps invocation counters.
+//	store           — target object stores every argument reference.
+//	drop            — target object drops every argument reference.
+//	drop-all        — target object drops all references it holds.
+//	get             — returns every reference held by the target object.
+//	alloc-child     — allocates a fresh object, links it from the target,
+//	                  and returns its reference.
+func registerBuiltins(n *Node) {
+	n.methods["noop"] = func(Mutator, ids.ObjID, []ids.GlobalRef) []ids.GlobalRef {
+		return nil
+	}
+	n.methods["store"] = func(m Mutator, self ids.ObjID, args []ids.GlobalRef) []ids.GlobalRef {
+		for _, a := range args {
+			// Errors are swallowed: a failed store simply does not create
+			// the reference (the exporter's scion self-heals via
+			// NewSetStubs).
+			_ = m.Store(self, a)
+		}
+		return nil
+	}
+	n.methods["drop"] = func(m Mutator, self ids.ObjID, args []ids.GlobalRef) []ids.GlobalRef {
+		for _, a := range args {
+			_ = m.Drop(self, a)
+		}
+		return nil
+	}
+	n.methods["drop-all"] = func(m Mutator, self ids.ObjID, _ []ids.GlobalRef) []ids.GlobalRef {
+		for _, r := range m.Refs(self) {
+			_ = m.Drop(self, r)
+		}
+		return nil
+	}
+	n.methods["get"] = func(m Mutator, self ids.ObjID, _ []ids.GlobalRef) []ids.GlobalRef {
+		return m.Refs(self)
+	}
+	n.methods["alloc-child"] = func(m Mutator, self ids.ObjID, _ []ids.GlobalRef) []ids.GlobalRef {
+		child := m.Alloc(nil)
+		_ = m.Link(self, child)
+		return []ids.GlobalRef{m.GlobalRef(child)}
+	}
+}

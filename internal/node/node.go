@@ -1,0 +1,354 @@
+// Package node assembles one simulated process of the distributed system:
+// an object heap, the local garbage collector, the reference-listing tables
+// and acyclic DGC, the snapshot summarizer, the cycle detector, and the
+// remote-invocation machinery — everything the paper's Rotor/OBIWAN
+// implementations instrument, reproduced over a message transport.
+//
+// A Node is driven from two sides:
+//
+//   - the mutator: application code allocating objects, mutating references
+//     and performing remote invocations (Invoke / builtin methods);
+//   - the collector daemons: RunLGC, Summarize and RunDetection, invoked
+//     periodically by Tick (or explicitly by tests).
+//
+// All entry points serialize on one mutex, making the node an actor whose
+// messages may arrive from any transport goroutine.
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"dgc/internal/core"
+	"dgc/internal/heap"
+	"dgc/internal/ids"
+	"dgc/internal/lgc"
+	"dgc/internal/refs"
+	"dgc/internal/snapshot"
+	"dgc/internal/trace"
+	"dgc/internal/transport"
+	"dgc/internal/wire"
+)
+
+// Config tunes one node.
+type Config struct {
+	// Detector is handed to the cycle detector.
+	Detector core.Config
+	// CandidateMinAge is the quiescence threshold (in logical ticks) before
+	// a scion becomes a cycle candidate.
+	CandidateMinAge uint64
+	// MaxDetectionsPerRound bounds detections started per RunDetection
+	// call; 0 means all eligible candidates.
+	MaxDetectionsPerRound int
+	// LGCEvery / SnapshotEvery / DetectEvery run the respective daemon
+	// every N ticks (0 disables; drive manually).
+	LGCEvery      uint64
+	SnapshotEvery uint64
+	DetectEvery   uint64
+	// CallTimeoutTicks expires pending invocations after this many ticks,
+	// releasing their pinned references; 0 means never expire.
+	CallTimeoutTicks uint64
+	// EmptySetRepeats bounds consecutive empty NewSetStubs messages to a
+	// former peer; 0 (default) repeats forever, which is what makes scion
+	// reclamation tolerate message loss. See refs.AcyclicDGC.
+	EmptySetRepeats int
+	// Codec, when non-nil, serializes each snapshot before summarization
+	// (the paper's disk snapshot); bytes are accounted in Stats. When
+	// SnapshotDir is also set, the snapshot is written there.
+	Codec       snapshot.Codec
+	SnapshotDir string
+	// DisableDGC turns off all stub/scion bookkeeping on the invocation
+	// path; used by the Table 1 experiment to measure plain RMI.
+	DisableDGC bool
+	// Trace, when non-nil, receives structured events (collections,
+	// summarizations, detections, CDM outcomes, scion lifecycle).
+	Trace *trace.Log
+}
+
+// Stats counts node activity.
+type Stats struct {
+	Clock           uint64
+	InvokesSent     uint64
+	InvokesHandled  uint64
+	RepliesHandled  uint64
+	CallsFailed     uint64
+	ExportsPending  uint64
+	ScionsCreated   uint64
+	ScionsDropped   uint64 // deleted by NewSetStubs application
+	LGCRuns         uint64
+	ObjectsSwept    uint64
+	Summarizations  uint64
+	SnapshotBytes   uint64
+	StubSetsSent    uint64
+	StubSetsApplied uint64
+	CDMsDeduped     uint64 // CDM deliveries that added no new information
+	CDMsRaceDropped uint64 // CDM deliveries conflicting with the merged view
+	Detector        core.Stats
+}
+
+// Reply is the caller-side result of a remote invocation.
+type Reply struct {
+	OK      bool
+	Err     string
+	Returns []ids.GlobalRef
+}
+
+// ReplyFunc consumes an invocation result. It is called with the node lock
+// held; implementations may use the Mutator passed alongside but must not
+// call public Node methods.
+type ReplyFunc func(m Mutator, r Reply)
+
+// Method implements a remotely invocable method. It runs with the node lock
+// held and receives a Mutator for heap access, the invoked object and the
+// imported argument references. Returned references are exported back to
+// the caller.
+type Method func(m Mutator, self ids.ObjID, args []ids.GlobalRef) []ids.GlobalRef
+
+// Node is one process of the distributed system.
+type Node struct {
+	mu sync.Mutex
+
+	id       ids.NodeID
+	cfg      Config
+	heap     *heap.Heap
+	table    *refs.Table
+	acyclic  *refs.AcyclicDGC
+	lgc      *lgc.Collector
+	detector *core.Detector
+	selector *core.Selector
+	summary  *snapshot.Summary
+	ep       transport.Endpoint
+
+	clock        uint64
+	snapVersion  uint64
+	detectCursor uint64 // round-robin offset for bounded detection rounds
+
+	methods map[string]Method
+
+	nextCallID   uint64
+	pendingCalls map[uint64]*pendingCall
+
+	nextExportID   uint64
+	pendingExports map[uint64]*pendingExport
+
+	// pins counts in-flight references that must keep their stubs across
+	// local collections (exported args, pending call targets).
+	pins map[ids.GlobalRef]int
+
+	// cdmAcc accumulates, per detection, the union of every CDM algebra
+	// delivered to this node together with the scions it arrived along
+	// (see handleCDM). cdmAborted marks detections whose accumulated view
+	// hit a counter conflict. Both are droppable cache state, cleared on
+	// each summarization and when the cap is hit.
+	cdmAcc     map[core.DetectionID]*detAcc
+	cdmAborted map[core.DetectionID]struct{}
+
+	stats Stats
+}
+
+// detAcc is one detection's accumulated state at this node.
+type detAcc struct {
+	alg    core.Alg
+	alongs map[ids.RefID]struct{} // scions this detection arrived along
+}
+
+// cdmAccCap bounds the per-detection accumulator cache; overflowing flushes
+// it, which only costs repeated work.
+const cdmAccCap = 1 << 10
+
+type pendingCall struct {
+	target   ids.GlobalRef
+	pinned   []ids.GlobalRef
+	cb       ReplyFunc
+	deadline uint64 // clock tick after which the call expires (0 = never)
+}
+
+type pendingExport struct {
+	waiting int // outstanding CreateScion acks
+	failed  bool
+	errMsg  string
+	ready   func(ok bool, errMsg string) // continuation under lock
+}
+
+// New assembles a node over the given endpoint and installs its message
+// handler. The endpoint must not deliver messages before New returns.
+func New(id ids.NodeID, ep transport.Endpoint, cfg Config) *Node {
+	n := &Node{
+		id:             id,
+		cfg:            cfg,
+		heap:           heap.New(id),
+		table:          refs.NewTable(id),
+		ep:             ep,
+		methods:        make(map[string]Method),
+		pendingCalls:   make(map[uint64]*pendingCall),
+		pendingExports: make(map[uint64]*pendingExport),
+		pins:           make(map[ids.GlobalRef]int),
+		cdmAcc:         make(map[core.DetectionID]*detAcc),
+		cdmAborted:     make(map[core.DetectionID]struct{}),
+	}
+	n.acyclic = refs.NewAcyclicDGC(n.table)
+	n.acyclic.EmptySetRepeats = cfg.EmptySetRepeats
+	n.lgc = lgc.New(n.heap, n.table)
+	n.selector = core.NewSelector(cfg.CandidateMinAge)
+	n.detector = core.NewDetector(id, cfg.Detector, (*detectorActions)(n))
+	registerBuiltins(n)
+	if ep != nil {
+		ep.SetHandler(n.HandleMessage)
+	}
+	return n
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() ids.NodeID { return n.id }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	s.Clock = n.clock
+	s.Detector = n.detector.Stats
+	s.ExportsPending = uint64(len(n.pendingExports))
+	return s
+}
+
+// NumObjects returns the current heap size.
+func (n *Node) NumObjects() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.heap.Len()
+}
+
+// NumScions and NumStubs expose table sizes.
+func (n *Node) NumScions() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.table.NumScions()
+}
+
+// NumStubs returns the number of outgoing-reference stubs.
+func (n *Node) NumStubs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.table.NumStubs()
+}
+
+// CloneHeap returns a deep copy of the node's heap, for ground-truth
+// analysis by harnesses and tests.
+func (n *Node) CloneHeap() *heap.Heap {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.heap.Clone()
+}
+
+// ScionRefs returns the node's current scions as reference identifiers, in
+// canonical order.
+func (n *Node) ScionRefs() []ids.RefID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ids.RefID, 0, n.table.NumScions())
+	for _, sc := range n.table.Scions() {
+		out = append(out, sc.RefID(n.id))
+	}
+	return out
+}
+
+// RegisterMethod installs (or replaces) a remotely invocable method.
+func (n *Node) RegisterMethod(name string, m Method) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.methods[name] = m
+}
+
+// With runs fn under the node lock with a Mutator: the scenario-building and
+// method-handler entry point for direct heap manipulation.
+func (n *Node) With(fn func(m Mutator)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn(Mutator{n: n})
+}
+
+// EnsureScionFor records an incoming reference from holder to the local
+// object obj: the owner half of a reference grant. Exposed for harness
+// bootstrap (cluster scenario construction); the protocol path is
+// CreateScion/Ack.
+func (n *Node) EnsureScionFor(holder ids.NodeID, obj ids.ObjID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.heap.Contains(obj) {
+		return n.errf("EnsureScionFor: no object %d", obj)
+	}
+	if _, created := n.table.EnsureScion(holder, obj); created {
+		n.stats.ScionsCreated++
+	}
+	n.selector.Touch(ids.RefID{Src: holder, Dst: ids.GlobalRef{Node: n.id, Obj: obj}}, n.clock)
+	return nil
+}
+
+// HoldRemote makes the local object from hold the remote reference target,
+// materializing the stub: the holder half of a reference grant. The caller
+// must have arranged the owner's scion first (EnsureScionFor), preserving
+// scion-before-stub.
+func (n *Node) HoldRemote(from ids.ObjID, target ids.GlobalRef) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if target.Node == n.id {
+		return n.heap.AddLocalRef(from, target.Obj)
+	}
+	if err := n.heap.AddRemoteRef(from, target); err != nil {
+		return err
+	}
+	n.table.EnsureStub(target)
+	return nil
+}
+
+// pin/unpin manage the in-flight reference set.
+func (n *Node) pin(ref ids.GlobalRef) {
+	if ref.Node == n.id {
+		return // own objects are protected by scions/roots, not pins
+	}
+	n.pins[ref]++
+	// Materialize the stub immediately so the reference is valid.
+	n.table.EnsureStub(ref)
+}
+
+func (n *Node) unpin(ref ids.GlobalRef) {
+	if ref.Node == n.id {
+		return
+	}
+	if c := n.pins[ref]; c <= 1 {
+		delete(n.pins, ref)
+	} else {
+		n.pins[ref] = c - 1
+	}
+}
+
+func (n *Node) pinnedRefs() []ids.GlobalRef {
+	out := make([]ids.GlobalRef, 0, len(n.pins))
+	for r := range n.pins {
+		out = append(out, r)
+	}
+	ids.SortGlobalRefs(out)
+	return out
+}
+
+func (n *Node) send(to ids.NodeID, msg wire.Message) {
+	if n.ep == nil {
+		return
+	}
+	// Errors are deliberately ignored: every protocol layer above tolerates
+	// message loss.
+	_ = n.ep.Send(to, msg)
+}
+
+// fail is an internal invariant violation reporter.
+func (n *Node) errf(format string, args ...any) error {
+	return fmt.Errorf("node %s: %s", n.id, fmt.Sprintf(format, args...))
+}
+
+// emit records a trace event when tracing is configured.
+func (n *Node) emit(kind trace.Kind, format string, args ...any) {
+	if n.cfg.Trace != nil {
+		n.cfg.Trace.Emit(n.id, kind, format, args...)
+	}
+}

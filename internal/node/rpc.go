@@ -1,0 +1,374 @@
+package node
+
+import (
+	"dgc/internal/ids"
+	"dgc/internal/trace"
+	"dgc/internal/wire"
+)
+
+// Remote invocation with reference export/import.
+//
+// The protocol preserves the reference-listing safety invariant
+// scion-before-stub: before a reference is handed to a new holder, its
+// owner's scion for that holder exists. Exports of self-owned references
+// create the scion locally; third-party exports run the CreateScion/Ack
+// sub-protocol with the owner and delay the invocation until every ack has
+// arrived. While exports are in flight the references are pinned so the
+// local collector cannot drop the exporter's stubs (the paper's remoting
+// instrumentation gets this for free from the thread stack).
+
+// Invoke performs an asynchronous remote invocation of method on target,
+// exporting args to the callee. cb (optional) receives the reply under the
+// node lock. Invoke returns an error only for immediately detectable
+// misuse; transport failures surface as a failed or expired reply.
+func (n *Node) Invoke(target ids.GlobalRef, method string, args []ids.GlobalRef, cb ReplyFunc) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.invokeLocked(target, method, args, cb)
+}
+
+func (n *Node) invokeLocked(target ids.GlobalRef, method string, args []ids.GlobalRef, cb ReplyFunc) error {
+	if target.Node == n.id {
+		return n.errf("Invoke: target %v is local", target)
+	}
+	if !n.cfg.DisableDGC {
+		if n.table.Stub(target) == nil && n.pins[target] == 0 {
+			return n.errf("Invoke: reference %v not held by this process", target)
+		}
+		for _, a := range args {
+			if a.Node == n.id {
+				if !n.heap.Contains(a.Obj) {
+					return n.errf("Invoke: exported object %d does not exist", a.Obj)
+				}
+				continue
+			}
+			if n.table.Stub(a) == nil && n.pins[a] == 0 {
+				return n.errf("Invoke: exported reference %v not held", a)
+			}
+		}
+	}
+
+	// Pin the target and remote args until the reply (or expiry).
+	pinned := make([]ids.GlobalRef, 0, 1+len(args))
+	pinRef := func(r ids.GlobalRef) {
+		if r.Node != n.id {
+			n.pin(r)
+			pinned = append(pinned, r)
+		}
+	}
+	if !n.cfg.DisableDGC {
+		pinRef(target)
+		for _, a := range args {
+			pinRef(a)
+		}
+	}
+
+	n.nextCallID++
+	callID := n.nextCallID
+	argsCopy := append([]ids.GlobalRef(nil), args...)
+
+	send := func(ok bool, errMsg string) {
+		if !ok {
+			for _, r := range pinned {
+				n.unpin(r)
+			}
+			n.stats.CallsFailed++
+			if cb != nil {
+				cb(Mutator{n: n}, Reply{OK: false, Err: "export failed: " + errMsg})
+			}
+			return
+		}
+		var stubIC uint64
+		if !n.cfg.DisableDGC {
+			if ic, err := n.table.BumpStubIC(target); err == nil {
+				stubIC = ic
+			}
+		}
+		pc := &pendingCall{target: target, pinned: pinned, cb: cb}
+		if n.cfg.CallTimeoutTicks > 0 {
+			pc.deadline = n.clock + n.cfg.CallTimeoutTicks
+		}
+		n.pendingCalls[callID] = pc
+		n.stats.InvokesSent++
+		n.send(target.Node, &wire.InvokeRequest{
+			CallID: callID,
+			From:   n.id,
+			Target: target,
+			Method: method,
+			Args:   argsCopy,
+			StubIC: stubIC,
+		})
+	}
+
+	if n.cfg.DisableDGC {
+		send(true, "")
+		return nil
+	}
+	n.exportRefs(argsCopy, target.Node, send)
+	return nil
+}
+
+// exportRefs ensures scions exist for every reference in refs on behalf of
+// the new holder, then calls ready under the node lock. Self-owned
+// references get their scions synchronously; third-party references go
+// through CreateScion/Ack.
+//
+// Copying an existing remote reference counts as mutator activity on it:
+// the exporter bumps its stub-side counter here and the owner bumps the
+// matching scion when it learns of the copy (in handleCreateScion for
+// third-party exports, in handleInvokeRequest/-Reply for references owned
+// by the receiving end). Without this, a root migration performed purely by
+// reference copying would slip past the §3.2 barrier ("there have been
+// remote invocations, and possibly reference copying, along the CDM-Graph",
+// safety rule 3).
+func (n *Node) exportRefs(refs []ids.GlobalRef, holder ids.NodeID, ready func(ok bool, errMsg string)) {
+	var remoteOwners []ids.GlobalRef
+	for _, r := range refs {
+		switch r.Node {
+		case n.id:
+			// We own the object: a brand-new reference, not a copy. Create
+			// the scion directly.
+			if _, created := n.table.EnsureScion(holder, r.Obj); created {
+				n.stats.ScionsCreated++
+			}
+			n.selector.Touch(ids.RefID{Src: holder, Dst: r}, n.clock)
+		case holder:
+			// The holder owns it; importing turns it into a local ref.
+			// Still a copy of OUR reference to it: bump the stub side (the
+			// holder bumps its scion when the request/reply arrives).
+			if _, err := n.table.BumpStubIC(r); err != nil {
+				n.table.EnsureStub(r) // pinned-only reference: materialize
+				_, _ = n.table.BumpStubIC(r)
+			}
+		default:
+			if _, err := n.table.BumpStubIC(r); err != nil {
+				n.table.EnsureStub(r)
+				_, _ = n.table.BumpStubIC(r)
+			}
+			remoteOwners = append(remoteOwners, r)
+		}
+	}
+	if len(remoteOwners) == 0 {
+		ready(true, "")
+		return
+	}
+	n.nextExportID++
+	exportID := n.nextExportID
+	n.pendingExports[exportID] = &pendingExport{waiting: len(remoteOwners), ready: ready}
+	for _, r := range remoteOwners {
+		n.send(r.Node, &wire.CreateScion{
+			ExportID: exportID,
+			From:     n.id,
+			Holder:   holder,
+			Obj:      r.Obj,
+		})
+	}
+}
+
+// AcquireRemote bootstraps possession of a remote reference: it runs the
+// CreateScion protocol with the owner on this node's behalf and, once
+// acknowledged, materializes a stub and invokes cb. This models an external
+// name service handing out references (the way the paper's OBIWAN clients
+// obtain their first proxy). The acquired reference is pinned for the
+// duration of cb; store it somewhere reachable or it will be collected.
+func (n *Node) AcquireRemote(ref ids.GlobalRef, cb func(m Mutator, ok bool)) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ref.Node == n.id {
+		return n.errf("AcquireRemote: %v is local", ref)
+	}
+	n.nextExportID++
+	exportID := n.nextExportID
+	n.pin(ref)
+	n.pendingExports[exportID] = &pendingExport{
+		waiting: 1,
+		ready: func(ok bool, _ string) {
+			if ok {
+				n.table.EnsureStub(ref)
+			}
+			if cb != nil {
+				cb(Mutator{n: n}, ok)
+			}
+			n.unpin(ref)
+		},
+	}
+	n.send(ref.Node, &wire.CreateScion{
+		ExportID: exportID,
+		From:     n.id,
+		Holder:   n.id,
+		Obj:      ref.Obj,
+	})
+	return nil
+}
+
+// handleInvokeRequest executes an incoming invocation. Caller holds the lock.
+func (n *Node) handleInvokeRequest(msg *wire.InvokeRequest) {
+	n.stats.InvokesHandled++
+	n.emit(trace.KindInvoke, "from=%s target=%d method=%s args=%d",
+		msg.From, msg.Target.Obj, msg.Method, len(msg.Args))
+	reply := &wire.InvokeReply{CallID: msg.CallID, From: n.id, Target: msg.Target}
+
+	if !n.cfg.DisableDGC {
+		// The caller held a stub, so our scion exists (create it defensively
+		// if a mixed-configuration caller skipped the protocol), and the
+		// invocation bumps its counter (§3.2).
+		sc, created := n.table.EnsureScion(msg.From, msg.Target.Obj)
+		if created {
+			n.stats.ScionsCreated++
+		}
+		sc.IC++
+		n.selector.Touch(ids.RefID{Src: msg.From, Dst: msg.Target}, n.clock)
+	}
+
+	if !n.heap.Contains(msg.Target.Obj) {
+		reply.Err = "no such object"
+		n.send(msg.From, reply)
+		return
+	}
+	handler, ok := n.methods[msg.Method]
+	if !ok {
+		reply.Err = "no such method: " + msg.Method
+		n.send(msg.From, reply)
+		return
+	}
+
+	// Import argument references: materialize stubs for refs owned
+	// elsewhere (their scions were created by the exporter). Arguments WE
+	// own were reference copies of the caller's stub to them: bump the
+	// matching scion-side counter (the caller bumped its stub side in
+	// exportRefs).
+	if !n.cfg.DisableDGC {
+		for _, a := range msg.Args {
+			if a.Node != n.id {
+				n.table.EnsureStub(a)
+				continue
+			}
+			if sc := n.table.Scion(msg.From, a.Obj); sc != nil {
+				sc.IC++
+				n.selector.Touch(ids.RefID{Src: msg.From, Dst: a}, n.clock)
+			}
+		}
+	}
+
+	returns := handler(Mutator{n: n}, msg.Target.Obj, msg.Args)
+	reply.OK = true
+	reply.Returns = returns
+
+	finish := func(ok bool, errMsg string) {
+		if !ok {
+			reply.OK = false
+			reply.Err = "return export failed: " + errMsg
+			reply.Returns = nil
+		}
+		if !n.cfg.DisableDGC {
+			// The reply travels back through the same reference: bump the
+			// scion-side counter and piggy-back it.
+			if sc := n.table.Scion(msg.From, msg.Target.Obj); sc != nil {
+				sc.IC++
+				reply.ScionIC = sc.IC
+			}
+		}
+		n.send(msg.From, reply)
+	}
+
+	if n.cfg.DisableDGC || len(returns) == 0 {
+		finish(true, "")
+		return
+	}
+	// Pin remote returns until their scions are confirmed.
+	var pinned []ids.GlobalRef
+	for _, r := range returns {
+		if r.Node != n.id && r.Node != msg.From {
+			n.pin(r)
+			pinned = append(pinned, r)
+		}
+	}
+	n.exportRefs(returns, msg.From, func(ok bool, errMsg string) {
+		finish(ok, errMsg)
+		for _, r := range pinned {
+			n.unpin(r)
+		}
+	})
+}
+
+// handleInvokeReply completes a pending call. Caller holds the lock.
+func (n *Node) handleInvokeReply(msg *wire.InvokeReply) {
+	pc, ok := n.pendingCalls[msg.CallID]
+	if !ok {
+		return // expired or duplicate: returned refs self-heal via NewSetStubs
+	}
+	delete(n.pendingCalls, msg.CallID)
+	n.stats.RepliesHandled++
+
+	if !n.cfg.DisableDGC {
+		// Reply-side counter bump on the stub end (§3.2: "invocation (or
+		// reply)").
+		if st := n.table.Stub(pc.target); st != nil {
+			st.IC++
+		}
+		// Import returned references. Returns WE own were copies of the
+		// callee's reference to them: bump the matching scion counter.
+		for _, r := range msg.Returns {
+			if r.Node != n.id {
+				n.table.EnsureStub(r)
+				n.pin(r)
+				defer n.unpin(r)
+				continue
+			}
+			if sc := n.table.Scion(msg.From, r.Obj); sc != nil {
+				sc.IC++
+				n.selector.Touch(ids.RefID{Src: msg.From, Dst: r}, n.clock)
+			}
+		}
+	}
+	for _, r := range pc.pinned {
+		n.unpin(r)
+	}
+	if !msg.OK {
+		n.stats.CallsFailed++
+	}
+	if pc.cb != nil {
+		pc.cb(Mutator{n: n}, Reply{OK: msg.OK, Err: msg.Err, Returns: msg.Returns})
+	}
+}
+
+// handleCreateScion serves a scion-creation request. Caller holds the lock.
+func (n *Node) handleCreateScion(msg *wire.CreateScion) {
+	ack := &wire.CreateScionAck{ExportID: msg.ExportID, From: n.id}
+	if !n.heap.Contains(msg.Obj) {
+		ack.Err = "no such object"
+	} else {
+		if _, created := n.table.EnsureScion(msg.Holder, msg.Obj); created {
+			n.stats.ScionsCreated++
+		}
+		n.selector.Touch(ids.RefID{Src: msg.Holder, Dst: ids.GlobalRef{Node: n.id, Obj: msg.Obj}}, n.clock)
+		// The exporter copied ITS reference to our object: bump the
+		// matching scion counter (it bumped the stub side). A bootstrap
+		// acquisition (Holder == From) is a fresh grant, not a copy.
+		if msg.Holder != msg.From {
+			if sc := n.table.Scion(msg.From, msg.Obj); sc != nil {
+				sc.IC++
+				n.selector.Touch(ids.RefID{Src: msg.From, Dst: ids.GlobalRef{Node: n.id, Obj: msg.Obj}}, n.clock)
+			}
+		}
+		ack.OK = true
+	}
+	n.send(msg.From, ack)
+}
+
+// handleCreateScionAck resolves one pending export. Caller holds the lock.
+func (n *Node) handleCreateScionAck(msg *wire.CreateScionAck) {
+	pe, ok := n.pendingExports[msg.ExportID]
+	if !ok {
+		return
+	}
+	if !msg.OK {
+		pe.failed = true
+		pe.errMsg = msg.Err
+	}
+	pe.waiting--
+	if pe.waiting <= 0 {
+		delete(n.pendingExports, msg.ExportID)
+		pe.ready(!pe.failed, pe.errMsg)
+	}
+}

@@ -1,0 +1,60 @@
+package node
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dgc/internal/snapshot"
+)
+
+func TestSnapshotDirWritesSerializedSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	tn := newTestNet(t, Config{Codec: snapshot.BinaryCodec{}, SnapshotDir: dir}, "A")
+	a := tn.n("A")
+	obj := allocRooted(t, a)
+	_ = obj
+
+	if err := a.Summarize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Summarize(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("snapshot files = %d, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "A-") || !strings.HasSuffix(e.Name(), ".binary.snap") {
+			t.Errorf("unexpected snapshot file name %q", e.Name())
+		}
+	}
+	// The snapshot on disk decodes back to the heap contents.
+	h, err := snapshot.ReadFile(snapshot.BinaryCodec{}, filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 || h.Node() != "A" {
+		t.Fatalf("decoded snapshot: %d objects on %s", h.Len(), h.Node())
+	}
+	if s := a.Stats(); s.SnapshotBytes == 0 {
+		t.Error("SnapshotBytes not accounted")
+	}
+}
+
+func TestSnapshotCodecWithoutDirAccountsBytesOnly(t *testing.T) {
+	tn := newTestNet(t, Config{Codec: snapshot.ReflectCodec{}}, "A")
+	a := tn.n("A")
+	allocRooted(t, a)
+	if err := a.Summarize(); err != nil {
+		t.Fatal(err)
+	}
+	if s := a.Stats(); s.SnapshotBytes == 0 {
+		t.Error("SnapshotBytes not accounted without dir")
+	}
+}

@@ -1,0 +1,115 @@
+package refs
+
+import (
+	"testing"
+
+	"dgc/internal/ids"
+)
+
+func TestLeaseRenewalKeepsScionAlive(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	l := NewLeaseDGC(tb, 3)
+	l.Grant("P1", 6, 0)
+
+	// Renewals arrive every tick: the scion survives indefinitely.
+	for now := uint64(1); now <= 10; now++ {
+		l.ApplyStubSetAt(StubSetMsg{From: "P1", Seq: now, Objs: []ids.ObjID{6}}, now)
+		if got := l.Expire(now); len(got) != 0 {
+			t.Fatalf("tick %d: renewed scion expired: %v", now, got)
+		}
+	}
+	if tb.Scion("P1", 6) == nil {
+		t.Fatal("scion gone despite renewals")
+	}
+}
+
+func TestLeaseExpiryDeletesQuietScion(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	l := NewLeaseDGC(tb, 3)
+	l.Grant("P1", 6, 0)
+
+	for now := uint64(1); now <= 3; now++ {
+		if got := l.Expire(now); len(got) != 0 {
+			t.Fatalf("tick %d: expired within lease: %v", now, got)
+		}
+	}
+	got := l.Expire(4)
+	if len(got) != 1 || got[0].Src != "P1" || got[0].Obj != 6 {
+		t.Fatalf("Expire = %v", got)
+	}
+	if tb.Scion("P1", 6) != nil {
+		t.Fatal("scion survived expiry")
+	}
+}
+
+func TestLeaseUnsafetyUnderSilence(t *testing.T) {
+	// THE point of the ablation: the holder still references the object,
+	// but its renewals are lost for longer than the lease. Leased reference
+	// listing deletes the scion (unsafe); plain reference listing keeps it.
+	leasedTable := NewTable("P2")
+	leasedTable.EnsureScion("P1", 6)
+	leased := NewLeaseDGC(leasedTable, 2)
+	leased.Grant("P1", 6, 0)
+
+	plainTable := NewTable("P2")
+	plainTable.EnsureScion("P1", 6)
+	plain := NewAcyclicDGC(plainTable)
+	_ = plain
+
+	// Five ticks of silence (messages lost); the reference is still held
+	// by P1 the whole time.
+	for now := uint64(1); now <= 5; now++ {
+		leased.Expire(now)
+	}
+	if leasedTable.Scion("P1", 6) != nil {
+		t.Fatal("lease did not expire: ablation would show nothing")
+	}
+	if plainTable.Scion("P1", 6) == nil {
+		t.Fatal("plain reference listing dropped a scion without a stub set")
+	}
+}
+
+func TestLeaseStaleMessagesDoNotRenew(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	l := NewLeaseDGC(tb, 2)
+	l.Grant("P1", 6, 0)
+	l.ApplyStubSetAt(StubSetMsg{From: "P1", Seq: 5, Objs: []ids.ObjID{6}}, 1)
+	// A duplicate of seq 5 delivered later must NOT extend the lease.
+	l.ApplyStubSetAt(StubSetMsg{From: "P1", Seq: 5, Objs: []ids.ObjID{6}}, 4)
+	if got := l.Expire(4); len(got) != 1 {
+		t.Fatalf("stale renewal extended the lease: %v", got)
+	}
+}
+
+func TestLeaseApplyStubSetStillDeletesUnlisted(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	tb.EnsureScion("P1", 7)
+	l := NewLeaseDGC(tb, 5)
+	l.Grant("P1", 6, 0)
+	l.Grant("P1", 7, 0)
+	deleted := l.ApplyStubSetAt(StubSetMsg{From: "P1", Seq: 1, Objs: []ids.ObjID{6}}, 1)
+	if len(deleted) != 1 || deleted[0].Obj != 7 {
+		t.Fatalf("deleted = %v", deleted)
+	}
+	// The deletion also cleared its lease record; expiry finds nothing new.
+	if got := l.Expire(1); len(got) != 0 {
+		t.Fatalf("Expire = %v", got)
+	}
+}
+
+func TestLeaseUngrantedScionGetsDefensiveLease(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6) // created without Grant
+	l := NewLeaseDGC(tb, 2)
+	if got := l.Expire(10); len(got) != 0 {
+		t.Fatalf("ungranted scion expired immediately: %v", got)
+	}
+	// But it ages out from that point on.
+	if got := l.Expire(13); len(got) != 1 {
+		t.Fatalf("defensive lease never expired: %v", got)
+	}
+}

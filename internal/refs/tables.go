@@ -1,0 +1,206 @@
+// Package refs implements the data structures and protocol of the acyclic
+// distributed garbage collector the paper builds on: reference listing
+// (Shapiro, Dickman, Plainfossé 1992).
+//
+// A Stub represents an outgoing inter-process reference held by this
+// process; a Scion represents an incoming inter-process reference to one of
+// this process's objects. Both carry an invocation counter (IC), the paper's
+// concurrency-control extension (§3.2): the counter is incremented on every
+// remote invocation (and reply) performed through the reference and
+// piggy-backed on the message, so the two ends of a quiescent reference hold
+// equal counters.
+package refs
+
+import (
+	"fmt"
+	"sort"
+
+	"dgc/internal/ids"
+)
+
+// Stub is the client-side record of one outgoing inter-process reference.
+// There is at most one stub per (this process, target object); several local
+// objects may hold the same remote reference and share the stub.
+type Stub struct {
+	Target ids.GlobalRef // the remote object referenced
+	IC     uint64        // invocation counter (paper §3.2)
+}
+
+// Scion is the owner-side record of one incoming inter-process reference.
+// There is at most one scion per (source process, local object): reference
+// listing keeps one entry per client process, not a count.
+type Scion struct {
+	Src ids.NodeID // process holding the reference
+	Obj ids.ObjID  // local object referenced
+	IC  uint64     // invocation counter (paper §3.2)
+}
+
+// RefID returns the inter-process reference this scion is one end of.
+func (s Scion) RefID(owner ids.NodeID) ids.RefID {
+	return ids.RefID{Src: s.Src, Dst: ids.GlobalRef{Node: owner, Obj: s.Obj}}
+}
+
+// ScionKey identifies a scion within one process.
+type ScionKey struct {
+	Src ids.NodeID
+	Obj ids.ObjID
+}
+
+// Table holds the stub and scion tables of one process. Table is not safe
+// for concurrent use; the owning node serializes access.
+type Table struct {
+	node   ids.NodeID
+	stubs  map[ids.GlobalRef]*Stub
+	scions map[ScionKey]*Scion
+}
+
+// NewTable returns empty stub/scion tables for the given process.
+func NewTable(node ids.NodeID) *Table {
+	return &Table{
+		node:   node,
+		stubs:  make(map[ids.GlobalRef]*Stub),
+		scions: make(map[ScionKey]*Scion),
+	}
+}
+
+// Node returns the owning process identifier.
+func (t *Table) Node() ids.NodeID { return t.node }
+
+// EnsureStub returns the stub for target, creating it (with IC zero) if
+// needed. created reports whether a new stub was created.
+func (t *Table) EnsureStub(target ids.GlobalRef) (s *Stub, created bool) {
+	if s = t.stubs[target]; s != nil {
+		return s, false
+	}
+	s = &Stub{Target: target}
+	t.stubs[target] = s
+	return s, true
+}
+
+// Stub returns the stub for target, or nil.
+func (t *Table) Stub(target ids.GlobalRef) *Stub { return t.stubs[target] }
+
+// DeleteStub removes the stub for target (no-op if absent).
+func (t *Table) DeleteStub(target ids.GlobalRef) { delete(t.stubs, target) }
+
+// Stubs returns all stubs in canonical target order.
+func (t *Table) Stubs() []*Stub {
+	out := make([]*Stub, 0, len(t.stubs))
+	for _, s := range t.stubs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target.Less(out[j].Target) })
+	return out
+}
+
+// NumStubs returns the number of stubs.
+func (t *Table) NumStubs() int { return len(t.stubs) }
+
+// EnsureScion returns the scion for (src, obj), creating it (with IC zero)
+// if needed. created reports whether a new scion was created.
+func (t *Table) EnsureScion(src ids.NodeID, obj ids.ObjID) (s *Scion, created bool) {
+	k := ScionKey{Src: src, Obj: obj}
+	if s = t.scions[k]; s != nil {
+		return s, false
+	}
+	s = &Scion{Src: src, Obj: obj}
+	t.scions[k] = s
+	return s, true
+}
+
+// Scion returns the scion for (src, obj), or nil.
+func (t *Table) Scion(src ids.NodeID, obj ids.ObjID) *Scion {
+	return t.scions[ScionKey{Src: src, Obj: obj}]
+}
+
+// DeleteScion removes the scion for (src, obj). It reports whether a scion
+// was present.
+func (t *Table) DeleteScion(src ids.NodeID, obj ids.ObjID) bool {
+	k := ScionKey{Src: src, Obj: obj}
+	if _, ok := t.scions[k]; !ok {
+		return false
+	}
+	delete(t.scions, k)
+	return true
+}
+
+// Scions returns all scions in canonical (src, obj) order.
+func (t *Table) Scions() []*Scion {
+	out := make([]*Scion, 0, len(t.scions))
+	for _, s := range t.scions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Obj < out[j].Obj
+	})
+	return out
+}
+
+// NumScions returns the number of scions.
+func (t *Table) NumScions() int { return len(t.scions) }
+
+// ScionTargets returns the distinct local objects protected by at least one
+// scion, in ascending order. These are extra roots for the local collector.
+func (t *Table) ScionTargets() []ids.ObjID {
+	seen := make(map[ids.ObjID]struct{})
+	for k := range t.scions {
+		seen[k.Obj] = struct{}{}
+	}
+	out := make([]ids.ObjID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ScionsForObject returns all scions protecting the given local object, in
+// canonical source order.
+func (t *Table) ScionsForObject(obj ids.ObjID) []*Scion {
+	var out []*Scion
+	for _, s := range t.scions {
+		if s.Obj == obj {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Src < out[j].Src })
+	return out
+}
+
+// RestoreStub reinstates a stub with an explicit invocation counter.
+// Used when loading persisted state; overwrites any existing entry.
+func (t *Table) RestoreStub(target ids.GlobalRef, ic uint64) {
+	t.stubs[target] = &Stub{Target: target, IC: ic}
+}
+
+// RestoreScion reinstates a scion with an explicit invocation counter.
+// Used when loading persisted state; overwrites any existing entry.
+func (t *Table) RestoreScion(src ids.NodeID, obj ids.ObjID, ic uint64) {
+	t.scions[ScionKey{Src: src, Obj: obj}] = &Scion{Src: src, Obj: obj, IC: ic}
+}
+
+// BumpStubIC increments the invocation counter of the stub for target and
+// returns the new value. It is an error if the stub does not exist: an
+// invocation can only travel through an existing reference.
+func (t *Table) BumpStubIC(target ids.GlobalRef) (uint64, error) {
+	s := t.stubs[target]
+	if s == nil {
+		return 0, fmt.Errorf("refs %s: BumpStubIC: no stub for %v", t.node, target)
+	}
+	s.IC++
+	return s.IC, nil
+}
+
+// BumpScionIC increments the invocation counter of the scion for (src, obj)
+// and returns the new value.
+func (t *Table) BumpScionIC(src ids.NodeID, obj ids.ObjID) (uint64, error) {
+	s := t.Scion(src, obj)
+	if s == nil {
+		return 0, fmt.Errorf("refs %s: BumpScionIC: no scion for %s->%d", t.node, src, obj)
+	}
+	s.IC++
+	return s.IC, nil
+}

@@ -1,0 +1,156 @@
+package refs
+
+import (
+	"testing"
+
+	"dgc/internal/ids"
+)
+
+func gref(n ids.NodeID, o ids.ObjID) ids.GlobalRef { return ids.GlobalRef{Node: n, Obj: o} }
+
+func TestEnsureStubIdempotent(t *testing.T) {
+	tb := NewTable("P1")
+	s1, created := tb.EnsureStub(gref("P2", 6))
+	if !created {
+		t.Fatal("first EnsureStub should create")
+	}
+	s2, created := tb.EnsureStub(gref("P2", 6))
+	if created {
+		t.Fatal("second EnsureStub should not create")
+	}
+	if s1 != s2 {
+		t.Fatal("EnsureStub returned distinct stubs for same target")
+	}
+	if tb.NumStubs() != 1 {
+		t.Fatalf("NumStubs = %d", tb.NumStubs())
+	}
+}
+
+func TestStubLookupAndDelete(t *testing.T) {
+	tb := NewTable("P1")
+	tb.EnsureStub(gref("P2", 6))
+	if tb.Stub(gref("P2", 6)) == nil {
+		t.Fatal("Stub lookup failed")
+	}
+	if tb.Stub(gref("P2", 7)) != nil {
+		t.Fatal("Stub lookup should miss")
+	}
+	tb.DeleteStub(gref("P2", 6))
+	if tb.Stub(gref("P2", 6)) != nil {
+		t.Fatal("stub still present after delete")
+	}
+	tb.DeleteStub(gref("P2", 6)) // no-op
+}
+
+func TestStubsSorted(t *testing.T) {
+	tb := NewTable("P1")
+	tb.EnsureStub(gref("P3", 1))
+	tb.EnsureStub(gref("P2", 9))
+	tb.EnsureStub(gref("P2", 2))
+	stubs := tb.Stubs()
+	if len(stubs) != 3 {
+		t.Fatalf("len = %d", len(stubs))
+	}
+	if stubs[0].Target != gref("P2", 2) || stubs[1].Target != gref("P2", 9) || stubs[2].Target != gref("P3", 1) {
+		t.Fatalf("unsorted stubs: %v %v %v", stubs[0].Target, stubs[1].Target, stubs[2].Target)
+	}
+}
+
+func TestEnsureScionIdempotentPerSource(t *testing.T) {
+	tb := NewTable("P2")
+	s1, created := tb.EnsureScion("P1", 6)
+	if !created {
+		t.Fatal("first EnsureScion should create")
+	}
+	_, created = tb.EnsureScion("P1", 6)
+	if created {
+		t.Fatal("duplicate EnsureScion should not create")
+	}
+	// Same object, different source: a distinct scion (reference listing).
+	s3, created := tb.EnsureScion("P5", 6)
+	if !created || s3 == s1 {
+		t.Fatal("scion from another source must be distinct")
+	}
+	if tb.NumScions() != 2 {
+		t.Fatalf("NumScions = %d", tb.NumScions())
+	}
+}
+
+func TestDeleteScion(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	if !tb.DeleteScion("P1", 6) {
+		t.Fatal("DeleteScion should report true")
+	}
+	if tb.DeleteScion("P1", 6) {
+		t.Fatal("second DeleteScion should report false")
+	}
+	if tb.Scion("P1", 6) != nil {
+		t.Fatal("scion still present")
+	}
+}
+
+func TestScionTargetsDeduplicated(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	tb.EnsureScion("P5", 6)
+	tb.EnsureScion("P1", 2)
+	targets := tb.ScionTargets()
+	if len(targets) != 2 || targets[0] != 2 || targets[1] != 6 {
+		t.Fatalf("ScionTargets = %v", targets)
+	}
+}
+
+func TestScionsForObject(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P5", 6)
+	tb.EnsureScion("P1", 6)
+	tb.EnsureScion("P1", 3)
+	got := tb.ScionsForObject(6)
+	if len(got) != 2 || got[0].Src != "P1" || got[1].Src != "P5" {
+		t.Fatalf("ScionsForObject = %+v", got)
+	}
+}
+
+func TestScionRefID(t *testing.T) {
+	s := Scion{Src: "P1", Obj: 6}
+	r := s.RefID("P2")
+	want := ids.RefID{Src: "P1", Dst: gref("P2", 6)}
+	if r != want {
+		t.Fatalf("RefID = %v, want %v", r, want)
+	}
+}
+
+func TestBumpICs(t *testing.T) {
+	tb := NewTable("P1")
+	tb.EnsureStub(gref("P2", 6))
+	if ic, err := tb.BumpStubIC(gref("P2", 6)); err != nil || ic != 1 {
+		t.Fatalf("BumpStubIC = %d, %v", ic, err)
+	}
+	if ic, err := tb.BumpStubIC(gref("P2", 6)); err != nil || ic != 2 {
+		t.Fatalf("BumpStubIC = %d, %v", ic, err)
+	}
+	if _, err := tb.BumpStubIC(gref("P9", 9)); err == nil {
+		t.Fatal("BumpStubIC on missing stub should fail")
+	}
+
+	tb2 := NewTable("P2")
+	tb2.EnsureScion("P1", 6)
+	if ic, err := tb2.BumpScionIC("P1", 6); err != nil || ic != 1 {
+		t.Fatalf("BumpScionIC = %d, %v", ic, err)
+	}
+	if _, err := tb2.BumpScionIC("P9", 6); err == nil {
+		t.Fatal("BumpScionIC on missing scion should fail")
+	}
+}
+
+func TestScionsSorted(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P5", 1)
+	tb.EnsureScion("P1", 9)
+	tb.EnsureScion("P1", 3)
+	s := tb.Scions()
+	if s[0].Src != "P1" || s[0].Obj != 3 || s[1].Obj != 9 || s[2].Src != "P5" {
+		t.Fatalf("Scions order: %+v %+v %+v", s[0], s[1], s[2])
+	}
+}

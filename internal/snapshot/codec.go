@@ -1,0 +1,51 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+
+	"dgc/internal/heap"
+)
+
+// Codec serializes and deserializes a whole process heap. Two
+// implementations reproduce the paper's serialization experiment:
+//
+//   - ReflectCodec: a deliberately naive reflective, textual serializer
+//     standing in for Rotor's "very inefficient serialization code";
+//   - BinaryCodec: a compact length-prefixed binary serializer standing in
+//     for production .NET serialization ("roughly, 100 times faster").
+type Codec interface {
+	// Name identifies the codec in experiment output.
+	Name() string
+	// Encode serializes the heap.
+	Encode(h *heap.Heap) ([]byte, error)
+	// Decode reconstructs a heap from Encode's output.
+	Decode(data []byte) (*heap.Heap, error)
+}
+
+// WriteFile serializes the heap with the codec and writes it to path —
+// the paper's "each process stores a snapshot of its internal object graph
+// on disk" (§2.2).
+func WriteFile(c Codec, h *heap.Heap, path string) error {
+	data, err := c.Encode(h)
+	if err != nil {
+		return fmt.Errorf("snapshot: encode with %s: %w", c.Name(), err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("snapshot: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile reads a serialized snapshot from path and decodes it.
+func ReadFile(c Codec, path string) (*heap.Heap, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read %s: %w", path, err)
+	}
+	h, err := c.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decode %s with %s: %w", path, c.Name(), err)
+	}
+	return h, nil
+}

@@ -1,0 +1,208 @@
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"dgc/internal/heap"
+	"dgc/internal/ids"
+)
+
+// ReflectCodec is the slow snapshot serializer: it discovers the object
+// layout through reflection on every single object and emits a verbose
+// field-per-line textual format, one fmt call per field element, preceded —
+// like Rotor's serializer, which re-derives and re-writes type metadata for
+// every serialized instance — by a per-object type-descriptor block listing
+// each field's name, kind and type string. This stands in for Rotor's "very
+// inefficient serialization code (for any purpose)": the point of the
+// experiment is the cost ratio against BinaryCodec, not the format itself.
+type ReflectCodec struct{}
+
+// writeTypeDescriptor emits the per-object type metadata block. Rotor
+// re-walked type information for every instance; doing the same here (with
+// a reflect.Type traversal and formatted output per field) reproduces that
+// cost profile.
+func writeTypeDescriptor(buf *bytes.Buffer, v reflect.Value) {
+	t := v.Type()
+	fmt.Fprintf(buf, "  type %s size=%d fields=%d\n", t.String(), t.Size(), t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		ft := f.Type
+		// Re-derive nested element type info per field, per object.
+		elem := ""
+		if ft.Kind() == reflect.Slice {
+			elem = fmt.Sprintf(" elem=%s kind=%s size=%d",
+				ft.Elem().String(), ft.Elem().Kind(), ft.Elem().Size())
+		}
+		fmt.Fprintf(buf, "  descr %s offset=%d kind=%s type=%s%s\n",
+			f.Name, f.Offset, ft.Kind(), ft.String(), elem)
+	}
+}
+
+// Name implements Codec.
+func (ReflectCodec) Name() string { return "reflect" }
+
+// Encode implements Codec.
+func (ReflectCodec) Encode(h *heap.Heap) ([]byte, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "heap node=%s next=%d\n", h.Node(), h.NextID())
+	for _, r := range h.Roots() {
+		fmt.Fprintf(&buf, "root %d\n", r)
+	}
+	var encErr error
+	h.ForEach(func(o *heap.Object) {
+		if encErr != nil {
+			return
+		}
+		fmt.Fprintf(&buf, "object\n")
+		// Reflectively walk every field of the object, exactly the kind of
+		// per-object type discovery a naive serializer performs.
+		v := reflect.ValueOf(o).Elem()
+		writeTypeDescriptor(&buf, v)
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := v.Field(i)
+			name := t.Field(i).Name
+			switch f.Kind() {
+			case reflect.Uint64:
+				fmt.Fprintf(&buf, "  field %s = %s\n", name, strconv.FormatUint(f.Uint(), 10))
+			case reflect.Slice:
+				elem := f.Type().Elem()
+				switch {
+				case elem.Kind() == reflect.Uint8:
+					fmt.Fprintf(&buf, "  field %s = hex:%s\n", name, hex.EncodeToString(f.Bytes()))
+				case elem.Kind() == reflect.Uint64:
+					for j := 0; j < f.Len(); j++ {
+						fmt.Fprintf(&buf, "  elem %s = %s\n", name, strconv.FormatUint(f.Index(j).Uint(), 10))
+					}
+				case elem == reflect.TypeOf(ids.GlobalRef{}):
+					for j := 0; j < f.Len(); j++ {
+						g := f.Index(j).Interface().(ids.GlobalRef)
+						fmt.Fprintf(&buf, "  elem %s = %s/%d\n", name, g.Node, g.Obj)
+					}
+				default:
+					encErr = fmt.Errorf("reflect codec: unsupported slice %s", elem)
+				}
+			default:
+				encErr = fmt.Errorf("reflect codec: unsupported field kind %s", f.Kind())
+			}
+		}
+	})
+	if encErr != nil {
+		return nil, encErr
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (ReflectCodec) Decode(data []byte) (*heap.Heap, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+
+	var (
+		node    ids.NodeID
+		nextID  ids.ObjID
+		roots   []ids.ObjID
+		objects []*heap.Object
+		cur     *heap.Object
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "heap "):
+			var n string
+			var next uint64
+			if _, err := fmt.Sscanf(line, "heap node=%s next=%d", &n, &next); err != nil {
+				return nil, fmt.Errorf("reflect codec: line %d: %w", lineNo, err)
+			}
+			node, nextID = ids.NodeID(n), ids.ObjID(next)
+		case strings.HasPrefix(line, "root "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, "root "), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("reflect codec: line %d: %w", lineNo, err)
+			}
+			roots = append(roots, ids.ObjID(v))
+		case line == "object":
+			cur = &heap.Object{}
+			objects = append(objects, cur)
+		case strings.HasPrefix(line, "type ") || strings.HasPrefix(line, "descr "):
+			// Per-object type metadata: redundant by design, skipped.
+			if cur == nil {
+				return nil, fmt.Errorf("reflect codec: line %d: metadata outside object", lineNo)
+			}
+		case strings.HasPrefix(line, "field ") || strings.HasPrefix(line, "elem "):
+			if cur == nil {
+				return nil, fmt.Errorf("reflect codec: line %d: field outside object", lineNo)
+			}
+			if err := applyField(cur, line); err != nil {
+				return nil, fmt.Errorf("reflect codec: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("reflect codec: line %d: unrecognized %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reflect codec: scan: %w", err)
+	}
+	if node == "" {
+		return nil, fmt.Errorf("reflect codec: missing heap header")
+	}
+	return heap.Restore(node, objects, roots, nextID)
+}
+
+func applyField(o *heap.Object, line string) error {
+	parts := strings.SplitN(line, " = ", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("malformed field line %q", line)
+	}
+	head := strings.Fields(parts[0])
+	if len(head) != 2 {
+		return fmt.Errorf("malformed field head %q", parts[0])
+	}
+	kind, name, val := head[0], head[1], parts[1]
+	switch {
+	case kind == "field" && name == "ID":
+		v, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return err
+		}
+		o.ID = ids.ObjID(v)
+	case kind == "field" && name == "Payload":
+		b, err := hex.DecodeString(strings.TrimPrefix(val, "hex:"))
+		if err != nil {
+			return err
+		}
+		if len(b) > 0 {
+			o.Payload = b
+		}
+	case kind == "elem" && name == "Locals":
+		v, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return err
+		}
+		o.Locals = append(o.Locals, ids.ObjID(v))
+	case kind == "elem" && name == "Remotes":
+		slash := strings.LastIndexByte(val, '/')
+		if slash < 0 {
+			return fmt.Errorf("malformed remote %q", val)
+		}
+		obj, err := strconv.ParseUint(val[slash+1:], 10, 64)
+		if err != nil {
+			return err
+		}
+		o.Remotes = append(o.Remotes, ids.GlobalRef{Node: ids.NodeID(val[:slash]), Obj: ids.ObjID(obj)})
+	default:
+		return fmt.Errorf("unknown field %s %s", kind, name)
+	}
+	return nil
+}

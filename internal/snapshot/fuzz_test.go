@@ -1,0 +1,65 @@
+package snapshot
+
+import (
+	"testing"
+)
+
+// FuzzBinaryDecode: the binary snapshot decoder must never panic and must
+// round-trip whatever it accepts.
+func FuzzBinaryDecode(f *testing.F) {
+	data, err := (BinaryCodec{}).Encode(randomHeap(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := (BinaryCodec{}).Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := (BinaryCodec{}).Encode(h)
+		if err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		h2, err := (BinaryCodec{}).Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !heapsEqual(h, h2) {
+			t.Fatal("decode/encode not stable")
+		}
+	})
+}
+
+// FuzzReflectDecode: the textual decoder must never panic.
+func FuzzReflectDecode(f *testing.F) {
+	data, err := (ReflectCodec{}).Encode(randomHeap(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(data))
+	f.Add("heap node=P1 next=2\nobject\n  field ID = 1\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		h, err := (ReflectCodec{}).Decode([]byte(s))
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode and decode stably.
+		re, err := (ReflectCodec{}).Encode(h)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		h2, err := (ReflectCodec{}).Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !heapsEqual(h, h2) {
+			t.Fatal("decode/encode not stable")
+		}
+	})
+}

@@ -1,0 +1,144 @@
+// Package snapshot implements the two snapshot facilities of the paper:
+//
+//   - serialization of a process's object graph (the costly operation §4
+//     measures, with a deliberately naive reflective codec standing in for
+//     Rotor's serializer and a compact binary codec standing in for
+//     production .NET), and
+//
+//   - graph summarization: reducing a snapshot to the only information the
+//     cycle detector needs — per scion, the stubs transitively reachable
+//     from it (StubsFrom); per stub, the scions leading to it (ScionsTo) and
+//     a local-reachability flag (Local.Reach); plus the invocation counters
+//     captured at snapshot time (§3 "Graph Summarization").
+package snapshot
+
+import (
+	"dgc/internal/heap"
+	"dgc/internal/ids"
+	"dgc/internal/refs"
+)
+
+// ScionSummary is the summarized-graph record for one scion.
+type ScionSummary struct {
+	Ref ids.RefID // the incoming reference (Src node -> local object)
+	IC  uint64    // scion invocation counter at snapshot time
+	// StubsFrom lists the targets of stubs transitively reachable from the
+	// scion's object, in canonical order.
+	StubsFrom []ids.GlobalRef
+	// LocalReach is true when the scion's object is reachable from the
+	// local root set; such scions are never cycle candidates.
+	LocalReach bool
+}
+
+// StubSummary is the summarized-graph record for one stub.
+type StubSummary struct {
+	Target ids.GlobalRef // the outgoing reference target
+	IC     uint64        // stub invocation counter at snapshot time
+	// ScionsTo lists the scions (as RefIDs) from which this stub is
+	// transitively reachable, in canonical order.
+	ScionsTo []ids.RefID
+	// LocalReach is the Local.Reach flag: true when at least one object
+	// holding this outgoing reference is reachable from the local root set.
+	LocalReach bool
+}
+
+// Summary is the summarized graph description of one process snapshot. It is
+// immutable once built: detectors read it without synchronizing with the
+// mutator, which is the whole point of the paper's design.
+type Summary struct {
+	Node    ids.NodeID
+	Version uint64 // monotonically increasing snapshot version per node
+
+	Scions map[ids.RefID]*ScionSummary
+	Stubs  map[ids.GlobalRef]*StubSummary
+}
+
+// Scion returns the summary record for the given incoming reference, or nil
+// if the reference was not present in the snapshot (the condition behind the
+// paper's safety rule 1: "stub without corresponding scion -> ignore CDM").
+func (s *Summary) Scion(ref ids.RefID) *ScionSummary {
+	if s == nil {
+		return nil
+	}
+	return s.Scions[ref]
+}
+
+// Stub returns the summary record for the given outgoing reference target,
+// or nil.
+func (s *Summary) Stub(target ids.GlobalRef) *StubSummary {
+	if s == nil {
+		return nil
+	}
+	return s.Stubs[target]
+}
+
+// Summarize builds the summarized graph description from a heap and its
+// reference tables. The heap passed in should be a snapshot (heap.Clone) when
+// the mutator runs concurrently; in the deterministic simulation the live
+// heap may be summarized directly between mutator steps.
+//
+// The traversal is breadth-first per scion, mirroring the paper's
+// implementation note. Cost is O(scions x heap) worst case; references
+// strictly internal to the process are folded away.
+func Summarize(h *heap.Heap, table *refs.Table, version uint64) *Summary {
+	sum := &Summary{
+		Node:    h.Node(),
+		Version: version,
+		Scions:  make(map[ids.RefID]*ScionSummary),
+		Stubs:   make(map[ids.GlobalRef]*StubSummary),
+	}
+
+	// Local.Reach: objects reachable from real local roots.
+	fromRoots := h.ReachableFromRoots()
+
+	// Initialize stub summaries from the stub table.
+	for _, st := range table.Stubs() {
+		localReach := false
+		for holder := range h.HoldersOf(st.Target) {
+			if _, ok := fromRoots[holder]; ok {
+				localReach = true
+				break
+			}
+		}
+		sum.Stubs[st.Target] = &StubSummary{
+			Target:     st.Target,
+			IC:         st.IC,
+			LocalReach: localReach,
+		}
+	}
+
+	// Per-scion reachability: which stubs does each scion lead to?
+	self := h.Node()
+	for _, sc := range table.Scions() {
+		ref := sc.RefID(self)
+		reach := h.ReachableFrom(sc.Obj)
+		stubTargets := h.RemoteRefsFrom(reach)
+		// Keep only targets with a stub record (they should all have one
+		// after an LGC round; between rounds a remote ref may briefly lack
+		// a stub — the summarizer registers it with IC from the table or
+		// skips it conservatively).
+		kept := stubTargets[:0]
+		for _, tgt := range stubTargets {
+			if _, ok := sum.Stubs[tgt]; ok {
+				kept = append(kept, tgt)
+			}
+		}
+		_, localReach := fromRoots[sc.Obj]
+		sum.Scions[ref] = &ScionSummary{
+			Ref:        ref,
+			IC:         sc.IC,
+			StubsFrom:  append([]ids.GlobalRef(nil), kept...),
+			LocalReach: localReach,
+		}
+		// Invert into ScionsTo.
+		for _, tgt := range kept {
+			ss := sum.Stubs[tgt]
+			ss.ScionsTo = append(ss.ScionsTo, ref)
+		}
+	}
+	// Canonical order for ScionsTo lists.
+	for _, ss := range sum.Stubs {
+		ids.SortRefIDs(ss.ScionsTo)
+	}
+	return sum
+}

@@ -1,0 +1,154 @@
+// Package trace provides a bounded, thread-safe event log for observing
+// the distributed collector at work: which node swept what, which CDMs were
+// handled with what outcome, which scions were created and deleted. The
+// node layer emits events when a Log is configured; tests assert on event
+// sequences and cmd/dgc-sim can dump them for debugging.
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"dgc/internal/ids"
+)
+
+// Kind classifies events.
+type Kind uint8
+
+// Event kinds emitted by the node layer.
+const (
+	KindLGC Kind = iota + 1
+	KindSummarize
+	KindDetectionStart
+	KindCDMHandled
+	KindCycleFound
+	KindScionCreated
+	KindScionDeleted
+	KindInvoke
+	KindCustom
+)
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	switch k {
+	case KindLGC:
+		return "lgc"
+	case KindSummarize:
+		return "summarize"
+	case KindDetectionStart:
+		return "detection-start"
+	case KindCDMHandled:
+		return "cdm"
+	case KindCycleFound:
+		return "cycle-found"
+	case KindScionCreated:
+		return "scion-created"
+	case KindScionDeleted:
+		return "scion-deleted"
+	case KindInvoke:
+		return "invoke"
+	case KindCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq    uint64 // global sequence number, 1-based
+	Node   ids.NodeID
+	Kind   Kind
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s: %s", e.Seq, e.Node, e.Kind, e.Detail)
+}
+
+// Log is a bounded ring of events shared by any number of nodes. The zero
+// value is unusable; create with New.
+type Log struct {
+	mu     sync.Mutex
+	buf    []Event
+	cap    int
+	seq    uint64
+	filter map[Kind]bool // nil = all kinds
+}
+
+// New returns a log retaining the most recent capacity events (minimum 16).
+func New(capacity int) *Log {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Log{cap: capacity}
+}
+
+// Only restricts the log to the given kinds (replacing any earlier filter);
+// calling with no kinds removes the filter.
+func (l *Log) Only(kinds ...Kind) *Log {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(kinds) == 0 {
+		l.filter = nil
+		return l
+	}
+	l.filter = make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		l.filter[k] = true
+	}
+	return l
+}
+
+// Emit records an event. Safe for concurrent use.
+func (l *Log) Emit(node ids.NodeID, kind Kind, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filter != nil && !l.filter[kind] {
+		return
+	}
+	l.seq++
+	e := Event{Seq: l.seq, Node: node, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+		return
+	}
+	copy(l.buf, l.buf[1:])
+	l.buf[len(l.buf)-1] = e
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Total returns the number of events ever emitted (including evicted and
+// filtered-in only).
+func (l *Log) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Snapshot returns the retained events, oldest first.
+func (l *Log) Snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.buf...)
+}
+
+// OfKind returns the retained events of one kind, oldest first.
+func (l *Log) OfKind(kind Kind) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.buf {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

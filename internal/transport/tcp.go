@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dgc/internal/ids"
+	"dgc/internal/wire"
+)
+
+// maxFrame bounds a single TCP frame; snapshots are never shipped whole, so
+// protocol messages stay small.
+const maxFrame = 16 << 20
+
+// TCPEndpoint is a real-socket endpoint: it listens for inbound frames and
+// dials peers on demand. Frames are 4-byte big-endian length prefixed wire
+// envelopes: sender name followed by the encoded message.
+type TCPEndpoint struct {
+	self ids.NodeID
+
+	mu       sync.Mutex
+	h        Handler
+	peers    map[ids.NodeID]string // node -> dial address
+	conns    map[ids.NodeID]net.Conn
+	accepted []net.Conn // inbound connections, closed on Close
+	ln       net.Listener
+	closed   bool
+	writeMu  sync.Mutex // serializes frame writes per endpoint
+	wg       sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// ListenTCP starts an endpoint for node self on addr ("host:port", use port
+// 0 for ephemeral). peers maps the other nodes' names to their dial
+// addresses; it may be extended later with AddPeer.
+func ListenTCP(self ids.NodeID, addr string, peers map[ids.NodeID]string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		self:  self,
+		peers: make(map[ids.NodeID]string, len(peers)),
+		conns: make(map[ids.NodeID]net.Conn),
+		ln:    ln,
+	}
+	for n, a := range peers {
+		e.peers[n] = a
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's listening address (useful with port 0).
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// AddPeer registers or updates a peer's dial address.
+func (e *TCPEndpoint) AddPeer(node ids.NodeID, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[node] = addr
+}
+
+// Self implements Endpoint.
+func (e *TCPEndpoint) Self() ids.NodeID { return e.self }
+
+// SetHandler implements Endpoint.
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.h = h
+}
+
+// Send implements Endpoint. A failed write tears down the cached connection
+// and retries once with a fresh dial; a second failure is returned (and may
+// be treated as message loss by callers).
+func (e *TCPEndpoint) Send(to ids.NodeID, msg wire.Message) error {
+	frame, err := e.buildFrame(msg)
+	if err != nil {
+		return err
+	}
+	if err := e.writeFrame(to, frame); err != nil {
+		e.dropConn(to)
+		return e.writeFrame(to, frame)
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) buildFrame(msg wire.Message) ([]byte, error) {
+	if msg == nil {
+		return nil, errors.New("transport: nil message")
+	}
+	var payload []byte
+	payload = appendLenString(payload, string(e.self))
+	payload = append(payload, wire.Encode(msg)...)
+	if len(payload) > maxFrame {
+		return nil, fmt.Errorf("transport: frame too large (%d bytes)", len(payload))
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	return frame, nil
+}
+
+func (e *TCPEndpoint) writeFrame(to ids.NodeID, frame []byte) error {
+	conn, err := e.connTo(to)
+	if err != nil {
+		return err
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	_, err = conn.Write(frame)
+	return err
+}
+
+func (e *TCPEndpoint) connTo(to ids.NodeID) (net.Conn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, errors.New("transport: endpoint closed")
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := e.peers[to]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %s", to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	e.mu.Lock()
+	if prev, ok := e.conns[to]; ok {
+		// Lost a race with another Send; keep the first connection.
+		e.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+	return c, nil
+}
+
+func (e *TCPEndpoint) dropConn(to ids.NodeID) {
+	e.mu.Lock()
+	if c, ok := e.conns[to]; ok {
+		delete(e.conns, to)
+		c.Close()
+	}
+	e.mu.Unlock()
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.accepted = append(e.accepted, conn)
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	hdr := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		if n == 0 || n > maxFrame {
+			return // protocol violation; drop the connection
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		from, rest, ok := readLenString(payload)
+		if !ok {
+			return
+		}
+		msg, err := wire.Decode(rest)
+		if err != nil {
+			continue // malformed message: datagram semantics, skip it
+		}
+		e.mu.Lock()
+		h := e.h
+		e.mu.Unlock()
+		if h != nil {
+			h(ids.NodeID(from), msg)
+		}
+	}
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.h = nil
+	conns := make([]net.Conn, 0, len(e.conns)+len(e.accepted))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	conns = append(conns, e.accepted...)
+	e.conns = map[ids.NodeID]net.Conn{}
+	e.accepted = nil
+	e.mu.Unlock()
+
+	err := e.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	e.wg.Wait()
+	return err
+}
+
+func appendLenString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readLenString(data []byte) (s string, rest []byte, ok bool) {
+	n, w := binary.Uvarint(data)
+	if w <= 0 || n > uint64(len(data)-w) {
+		return "", nil, false
+	}
+	return string(data[w : w+int(n)]), data[w+int(n):], true
+}

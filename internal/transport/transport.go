@@ -1,0 +1,39 @@
+// Package transport moves wire messages between processes.
+//
+// Two implementations are provided:
+//
+//   - Network / inproc endpoints: a deterministic in-memory message fabric
+//     for simulation, with seeded fault injection (loss, duplication,
+//     reordering, per-kind filters) and explicit pumping so tests are
+//     reproducible;
+//   - TCP endpoints: real sockets with length-prefixed frames, one process
+//     per node, for the distributed deployment (cmd/dgc-node).
+//
+// Both deliver through the same Handler interface, so every layer above is
+// transport-agnostic.
+package transport
+
+import (
+	"dgc/internal/ids"
+	"dgc/internal/wire"
+)
+
+// Handler consumes one delivered message. Implementations must be safe for
+// calls from the transport's delivery context (the pumping goroutine for
+// inproc, a connection-reader goroutine for TCP).
+type Handler func(from ids.NodeID, msg wire.Message)
+
+// Endpoint is one node's attachment to a transport.
+type Endpoint interface {
+	// Self returns the node this endpoint belongs to.
+	Self() ids.NodeID
+	// Send queues msg for delivery to the destination node. Send never
+	// blocks on the destination; delivery is asynchronous and may fail
+	// silently (the whole protocol stack tolerates message loss).
+	Send(to ids.NodeID, msg wire.Message) error
+	// SetHandler installs the delivery callback. Must be called before any
+	// message can be delivered to this endpoint.
+	SetHandler(h Handler)
+	// Close detaches the endpoint.
+	Close() error
+}

@@ -1,0 +1,385 @@
+package wire
+
+import (
+	"dgc/internal/core"
+	"dgc/internal/ids"
+	"dgc/internal/refs"
+)
+
+// ---- remote invocation --------------------------------------------------
+
+// InvokeRequest asks the destination to invoke a method on one of its
+// objects. Args carries references exported with the call (their scions at
+// the owning processes were created before the request was sent). StubIC is
+// the caller's invocation counter after the send-side bump, piggy-backed per
+// §3.2.
+type InvokeRequest struct {
+	CallID uint64
+	From   ids.NodeID
+	Target ids.GlobalRef
+	Method string
+	Args   []ids.GlobalRef
+	StubIC uint64
+}
+
+// Kind implements Message.
+func (*InvokeRequest) Kind() Kind { return KindInvokeRequest }
+
+func (m *InvokeRequest) encode(buf []byte) []byte {
+	buf = putUint(buf, m.CallID)
+	buf = putNode(buf, m.From)
+	buf = putGlobalRef(buf, m.Target)
+	buf = putString(buf, m.Method)
+	buf = putGlobalRefs(buf, m.Args)
+	return putUint(buf, m.StubIC)
+}
+
+func decodeInvokeRequest(r *reader) *InvokeRequest {
+	return &InvokeRequest{
+		CallID: r.uint(),
+		From:   r.node(),
+		Target: r.globalRef(),
+		Method: r.string(),
+		Args:   r.globalRefs(),
+		StubIC: r.uint(),
+	}
+}
+
+// InvokeReply carries the result of an InvokeRequest back to the caller,
+// including any references returned by the method (exported by the callee).
+// ScionIC piggy-backs the callee's counter after the reply-side bump.
+type InvokeReply struct {
+	CallID  uint64
+	From    ids.NodeID
+	Target  ids.GlobalRef // the invoked object (identifies the reference)
+	OK      bool
+	Err     string
+	Returns []ids.GlobalRef
+	ScionIC uint64
+}
+
+// Kind implements Message.
+func (*InvokeReply) Kind() Kind { return KindInvokeReply }
+
+func (m *InvokeReply) encode(buf []byte) []byte {
+	buf = putUint(buf, m.CallID)
+	buf = putNode(buf, m.From)
+	buf = putGlobalRef(buf, m.Target)
+	buf = putBool(buf, m.OK)
+	buf = putString(buf, m.Err)
+	buf = putGlobalRefs(buf, m.Returns)
+	return putUint(buf, m.ScionIC)
+}
+
+func decodeInvokeReply(r *reader) *InvokeReply {
+	return &InvokeReply{
+		CallID:  r.uint(),
+		From:    r.node(),
+		Target:  r.globalRef(),
+		OK:      r.bool(),
+		Err:     r.string(),
+		Returns: r.globalRefs(),
+		ScionIC: r.uint(),
+	}
+}
+
+// ---- reference listing ---------------------------------------------------
+
+// CreateScion asks the destination (the owner of Obj) to create a scion
+// recording that Holder now references Obj. Sent by an exporter before it
+// hands the reference to Holder, preserving the scion-before-stub ordering
+// that keeps reference listing safe.
+type CreateScion struct {
+	ExportID uint64 // exporter-local id for matching the ack
+	From     ids.NodeID
+	Holder   ids.NodeID
+	Obj      ids.ObjID
+}
+
+// Kind implements Message.
+func (*CreateScion) Kind() Kind { return KindCreateScion }
+
+func (m *CreateScion) encode(buf []byte) []byte {
+	buf = putUint(buf, m.ExportID)
+	buf = putNode(buf, m.From)
+	buf = putNode(buf, m.Holder)
+	return putUint(buf, uint64(m.Obj))
+}
+
+func decodeCreateScion(r *reader) *CreateScion {
+	return &CreateScion{
+		ExportID: r.uint(),
+		From:     r.node(),
+		Holder:   r.node(),
+		Obj:      ids.ObjID(r.uint()),
+	}
+}
+
+// CreateScionAck confirms scion creation to the exporter.
+type CreateScionAck struct {
+	ExportID uint64
+	From     ids.NodeID
+	OK       bool
+	Err      string
+}
+
+// Kind implements Message.
+func (*CreateScionAck) Kind() Kind { return KindCreateScionAck }
+
+func (m *CreateScionAck) encode(buf []byte) []byte {
+	buf = putUint(buf, m.ExportID)
+	buf = putNode(buf, m.From)
+	buf = putBool(buf, m.OK)
+	return putString(buf, m.Err)
+}
+
+func decodeCreateScionAck(r *reader) *CreateScionAck {
+	return &CreateScionAck{
+		ExportID: r.uint(),
+		From:     r.node(),
+		OK:       r.bool(),
+		Err:      r.string(),
+	}
+}
+
+// NewSetStubs wraps the reference-listing stub-set message (§1).
+type NewSetStubs struct {
+	Set refs.StubSetMsg
+}
+
+// Kind implements Message.
+func (*NewSetStubs) Kind() Kind { return KindNewSetStubs }
+
+func (m *NewSetStubs) encode(buf []byte) []byte {
+	buf = putNode(buf, m.Set.From)
+	buf = putUint(buf, m.Set.Seq)
+	return putObjIDs(buf, m.Set.Objs)
+}
+
+func decodeNewSetStubs(r *reader) *NewSetStubs {
+	return &NewSetStubs{Set: refs.StubSetMsg{
+		From: r.node(),
+		Seq:  r.uint(),
+		Objs: r.objIDs(),
+	}}
+}
+
+// ---- cycle detection -----------------------------------------------------
+
+// CDMEntry is the flattened wire form of one algebra entry.
+type CDMEntry struct {
+	Ref      ids.RefID
+	InSource bool
+	SrcIC    uint64
+	InTarget bool
+	TgtIC    uint64
+}
+
+// CDM is a cycle detection message: the detection identity, the reference it
+// travels along, the forwarding depth, and the algebra.
+type CDM struct {
+	Det     core.DetectionID
+	Along   ids.RefID
+	Hops    uint32
+	Entries []CDMEntry
+}
+
+// Kind implements Message.
+func (*CDM) Kind() Kind { return KindCDM }
+
+func (m *CDM) encode(buf []byte) []byte {
+	buf = putNode(buf, m.Det.Origin)
+	buf = putUint(buf, m.Det.Seq)
+	buf = putRefID(buf, m.Along)
+	buf = putUint(buf, uint64(m.Hops))
+	buf = putUint(buf, uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		buf = putRefID(buf, e.Ref)
+		buf = putBool(buf, e.InSource)
+		buf = putUint(buf, e.SrcIC)
+		buf = putBool(buf, e.InTarget)
+		buf = putUint(buf, e.TgtIC)
+	}
+	return buf
+}
+
+func decodeCDM(r *reader) *CDM {
+	m := &CDM{
+		Det:   core.DetectionID{Origin: r.node(), Seq: r.uint()},
+		Along: r.refID(),
+	}
+	m.Hops = uint32(r.uint())
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Entries = append(m.Entries, CDMEntry{
+			Ref:      r.refID(),
+			InSource: r.bool(),
+			SrcIC:    r.uint(),
+			InTarget: r.bool(),
+			TgtIC:    r.uint(),
+		})
+	}
+	return m
+}
+
+// NewCDM builds a CDM message from an algebra, flattening entries in
+// canonical reference order.
+func NewCDM(det core.DetectionID, along ids.RefID, alg core.Alg, hops int) *CDM {
+	m := &CDM{Det: det, Along: along, Hops: uint32(hops)}
+	keys := make([]ids.RefID, 0, alg.Len())
+	for r := range alg.Entries {
+		keys = append(keys, r)
+	}
+	ids.SortRefIDs(keys)
+	for _, r := range keys {
+		e := alg.Entries[r]
+		m.Entries = append(m.Entries, CDMEntry{
+			Ref: r, InSource: e.InSource, SrcIC: e.SrcIC, InTarget: e.InTarget, TgtIC: e.TgtIC,
+		})
+	}
+	return m
+}
+
+// Alg reconstructs the algebra carried by the message.
+func (m *CDM) Alg() core.Alg {
+	a := core.NewAlg()
+	for _, e := range m.Entries {
+		a.Entries[e.Ref] = core.Entry{
+			InSource: e.InSource, SrcIC: e.SrcIC, InTarget: e.InTarget, TgtIC: e.TgtIC,
+		}
+	}
+	return a
+}
+
+// DeleteScion tells the destination that the scion for Ref belongs to a
+// detected distributed garbage cycle (BroadcastDelete mode).
+type DeleteScion struct {
+	Det core.DetectionID
+	Ref ids.RefID
+}
+
+// Kind implements Message.
+func (*DeleteScion) Kind() Kind { return KindDeleteScion }
+
+func (m *DeleteScion) encode(buf []byte) []byte {
+	buf = putNode(buf, m.Det.Origin)
+	buf = putUint(buf, m.Det.Seq)
+	return putRefID(buf, m.Ref)
+}
+
+func decodeDeleteScion(r *reader) *DeleteScion {
+	return &DeleteScion{
+		Det: core.DetectionID{Origin: r.node(), Seq: r.uint()},
+		Ref: r.refID(),
+	}
+}
+
+// ---- baselines -------------------------------------------------------------
+
+// HughesStamp propagates a timestamp from stubs to scions (Hughes 1985
+// baseline): the destination must raise the stamps of the listed objects to
+// Stamp.
+type HughesStamp struct {
+	From  ids.NodeID
+	Stamp uint64
+	Objs  []ids.ObjID
+}
+
+// Kind implements Message.
+func (*HughesStamp) Kind() Kind { return KindHughesStamp }
+
+func (m *HughesStamp) encode(buf []byte) []byte {
+	buf = putNode(buf, m.From)
+	buf = putUint(buf, m.Stamp)
+	return putObjIDs(buf, m.Objs)
+}
+
+func decodeHughesStamp(r *reader) *HughesStamp {
+	return &HughesStamp{From: r.node(), Stamp: r.uint(), Objs: r.objIDs()}
+}
+
+// HughesThreshold broadcasts the new global minimum redo threshold computed
+// by the (consensus-requiring) termination service of the Hughes baseline.
+type HughesThreshold struct {
+	Threshold uint64
+}
+
+// Kind implements Message.
+func (*HughesThreshold) Kind() Kind { return KindHughesThreshold }
+
+func (m *HughesThreshold) encode(buf []byte) []byte {
+	return putUint(buf, m.Threshold)
+}
+
+func decodeHughesThreshold(r *reader) *HughesThreshold {
+	return &HughesThreshold{Threshold: r.uint()}
+}
+
+// BacktraceRequest asks the destination to report, for its object Obj,
+// whether Obj is locally reachable and which incoming references (scions)
+// lead to it (Maheshwari–Liskov back-tracing baseline). Visited carries the
+// trace's path state — the per-process detection state the paper criticizes.
+type BacktraceRequest struct {
+	TraceID uint64
+	Origin  ids.NodeID
+	From    ids.NodeID
+	Obj     ids.ObjID
+	Visited []ids.RefID
+}
+
+// Kind implements Message.
+func (*BacktraceRequest) Kind() Kind { return KindBacktraceRequest }
+
+func (m *BacktraceRequest) encode(buf []byte) []byte {
+	buf = putUint(buf, m.TraceID)
+	buf = putNode(buf, m.Origin)
+	buf = putNode(buf, m.From)
+	buf = putUint(buf, uint64(m.Obj))
+	buf = putUint(buf, uint64(len(m.Visited)))
+	for _, v := range m.Visited {
+		buf = putRefID(buf, v)
+	}
+	return buf
+}
+
+func decodeBacktraceRequest(r *reader) *BacktraceRequest {
+	m := &BacktraceRequest{
+		TraceID: r.uint(),
+		Origin:  r.node(),
+		From:    r.node(),
+		Obj:     ids.ObjID(r.uint()),
+	}
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Visited = append(m.Visited, r.refID())
+	}
+	return m
+}
+
+// BacktraceReply reports a sub-trace result to the requester: whether a
+// local root was found anywhere behind the traced object.
+type BacktraceReply struct {
+	TraceID   uint64
+	From      ids.NodeID
+	Obj       ids.ObjID
+	RootFound bool
+}
+
+// Kind implements Message.
+func (*BacktraceReply) Kind() Kind { return KindBacktraceReply }
+
+func (m *BacktraceReply) encode(buf []byte) []byte {
+	buf = putUint(buf, m.TraceID)
+	buf = putNode(buf, m.From)
+	buf = putUint(buf, uint64(m.Obj))
+	return putBool(buf, m.RootFound)
+}
+
+func decodeBacktraceReply(r *reader) *BacktraceReply {
+	return &BacktraceReply{
+		TraceID:   r.uint(),
+		From:      r.node(),
+		Obj:       ids.ObjID(r.uint()),
+		RootFound: r.bool(),
+	}
+}

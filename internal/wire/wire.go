@@ -1,0 +1,117 @@
+// Package wire defines every message exchanged between processes — remote
+// invocation, reference-listing (CreateScion / NewSetStubs), cycle detection
+// (CDM / DeleteScion) and the baseline collectors' traffic — together with a
+// compact, self-describing binary encoding used by the TCP transport.
+//
+// The in-process transport passes Message values directly; encoding is only
+// exercised on real sockets and in its own tests, keeping the deterministic
+// simulation fast.
+package wire
+
+import (
+	"fmt"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds. The numeric values are part of the wire format.
+const (
+	KindInvokeRequest Kind = iota + 1
+	KindInvokeReply
+	KindCreateScion
+	KindCreateScionAck
+	KindNewSetStubs
+	KindCDM
+	KindDeleteScion
+	KindHughesStamp
+	KindHughesThreshold
+	KindBacktraceRequest
+	KindBacktraceReply
+)
+
+// String returns the protocol name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInvokeRequest:
+		return "InvokeRequest"
+	case KindInvokeReply:
+		return "InvokeReply"
+	case KindCreateScion:
+		return "CreateScion"
+	case KindCreateScionAck:
+		return "CreateScionAck"
+	case KindNewSetStubs:
+		return "NewSetStubs"
+	case KindCDM:
+		return "CDM"
+	case KindDeleteScion:
+		return "DeleteScion"
+	case KindHughesStamp:
+		return "HughesStamp"
+	case KindHughesThreshold:
+		return "HughesThreshold"
+	case KindBacktraceRequest:
+		return "BacktraceRequest"
+	case KindBacktraceReply:
+		return "BacktraceReply"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	Kind() Kind
+	// encode appends the message body (without the kind tag) to buf.
+	encode(buf []byte) []byte
+}
+
+// Encode serializes a message with its kind tag.
+func Encode(m Message) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(m.Kind()))
+	return m.encode(buf)
+}
+
+// Decode parses a message produced by Encode.
+func Decode(data []byte) (Message, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wire: empty message")
+	}
+	r := &reader{data: data, pos: 1}
+	var m Message
+	switch Kind(data[0]) {
+	case KindInvokeRequest:
+		m = decodeInvokeRequest(r)
+	case KindInvokeReply:
+		m = decodeInvokeReply(r)
+	case KindCreateScion:
+		m = decodeCreateScion(r)
+	case KindCreateScionAck:
+		m = decodeCreateScionAck(r)
+	case KindNewSetStubs:
+		m = decodeNewSetStubs(r)
+	case KindCDM:
+		m = decodeCDM(r)
+	case KindDeleteScion:
+		m = decodeDeleteScion(r)
+	case KindHughesStamp:
+		m = decodeHughesStamp(r)
+	case KindHughesThreshold:
+		m = decodeHughesThreshold(r)
+	case KindBacktraceRequest:
+		m = decodeBacktraceRequest(r)
+	case KindBacktraceReply:
+		m = decodeBacktraceReply(r)
+	default:
+		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("wire: decode %s: %w", Kind(data[0]), r.err)
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %s", len(data)-r.pos, Kind(data[0]))
+	}
+	return m, nil
+}

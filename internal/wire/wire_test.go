@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dgc/internal/core"
+	"dgc/internal/ids"
+	"dgc/internal/refs"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	data := Encode(m)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode(%s): %v", m.Kind(), err)
+	}
+	if got.Kind() != m.Kind() {
+		t.Fatalf("kind mismatch: %s vs %s", got.Kind(), m.Kind())
+	}
+	return got
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	g1 := ids.GlobalRef{Node: "P2", Obj: 6}
+	g2 := ids.GlobalRef{Node: "P4", Obj: 17}
+	r1 := ids.RefID{Src: "P1", Dst: g1}
+	r2 := ids.RefID{Src: "P2", Dst: g2}
+	det := core.DetectionID{Origin: "P2", Seq: 9}
+
+	msgs := []Message{
+		&InvokeRequest{CallID: 3, From: "P1", Target: g1, Method: "store", Args: []ids.GlobalRef{g2}, StubIC: 7},
+		&InvokeRequest{CallID: 4, From: "P1", Target: g1}, // empty args
+		&InvokeReply{CallID: 3, From: "P2", Target: g1, OK: true, Returns: []ids.GlobalRef{g1, g2}, ScionIC: 8},
+		&InvokeReply{CallID: 3, From: "P2", Target: g1, OK: false, Err: "no such method"},
+		&CreateScion{ExportID: 5, From: "P1", Holder: "P3", Obj: 6},
+		&CreateScionAck{ExportID: 5, From: "P2", OK: true},
+		&CreateScionAck{ExportID: 5, From: "P2", OK: false, Err: "no such object"},
+		&NewSetStubs{Set: refs.StubSetMsg{From: "P1", Seq: 12, Objs: []ids.ObjID{1, 5, 9}}},
+		&NewSetStubs{Set: refs.StubSetMsg{From: "P1", Seq: 13}},
+		&CDM{Det: det, Along: r2, Hops: 3, Entries: []CDMEntry{
+			{Ref: r1, InSource: true, SrcIC: 2},
+			{Ref: r2, InSource: true, SrcIC: 1, InTarget: true, TgtIC: 1},
+		}},
+		&DeleteScion{Det: det, Ref: r1},
+		&HughesStamp{From: "P1", Stamp: 77, Objs: []ids.ObjID{2, 3}},
+		&HughesThreshold{Threshold: 42},
+		&BacktraceRequest{TraceID: 1, Origin: "P1", From: "P3", Obj: 4, Visited: []ids.RefID{r1, r2}},
+		&BacktraceReply{TraceID: 1, From: "P2", Obj: 4, RootFound: true},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%s round trip mismatch:\n got %#v\nwant %#v", m.Kind(), got, m)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) should fail")
+	}
+	if _, err := Decode([]byte{0xEE}); err == nil {
+		t.Error("Decode(unknown kind) should fail")
+	}
+	// Truncations of a valid message must all fail.
+	data := Encode(&InvokeRequest{CallID: 3, From: "P1", Target: ids.GlobalRef{Node: "P2", Obj: 6}, Method: "m"})
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded successfully", cut)
+		}
+	}
+	// Trailing garbage must fail.
+	if _, err := Decode(append(append([]byte{}, data...), 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestCDMAlgConversion(t *testing.T) {
+	alg := core.NewAlg()
+	r1 := ids.RefID{Src: "P1", Dst: ids.GlobalRef{Node: "P2", Obj: 1}}
+	r2 := ids.RefID{Src: "P2", Dst: ids.GlobalRef{Node: "P4", Obj: 2}}
+	alg.AddSource(r1, 5)
+	alg.AddTarget(r2, 3)
+	alg.AddSource(r2, 3)
+
+	det := core.DetectionID{Origin: "P2", Seq: 1}
+	msg := NewCDM(det, r2, alg, 5)
+	if len(msg.Entries) != 2 {
+		t.Fatalf("entries = %d", len(msg.Entries))
+	}
+	// Canonical order: r1 < r2.
+	if msg.Entries[0].Ref != r1 || msg.Entries[1].Ref != r2 {
+		t.Fatalf("entry order: %v, %v", msg.Entries[0].Ref, msg.Entries[1].Ref)
+	}
+	back := msg.Alg()
+	if !back.Equal(alg) {
+		t.Fatalf("Alg round trip: %v vs %v", back, alg)
+	}
+}
+
+func TestCDMAlgConversionProperty(t *testing.T) {
+	f := func(srcBits, tgtBits uint8, icSeed uint8) bool {
+		alg := core.NewAlg()
+		for i := 0; i < 8; i++ {
+			r := ids.RefID{Src: "P1", Dst: ids.GlobalRef{Node: "P2", Obj: ids.ObjID(i)}}
+			if srcBits&(1<<i) != 0 {
+				alg.AddSource(r, uint64(icSeed)+uint64(i))
+			}
+			if tgtBits&(1<<i) != 0 {
+				alg.AddTarget(r, uint64(icSeed)*2+uint64(i))
+			}
+		}
+		msg := NewCDM(core.DetectionID{Origin: "X", Seq: 1}, ids.RefID{}, alg, 0)
+		data := Encode(msg)
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return got.(*CDM).Alg().Equal(alg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindInvokeRequest; k <= KindBacktraceReply; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Errorf("unknown kind string = %q", Kind(200).String())
+	}
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingShape(t *testing.T) {
+	topo := Ring(4, 3)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Objects); got != 12 {
+		t.Fatalf("objects = %d", got)
+	}
+	// 2 internal edges per process + 1 crossing edge per process.
+	if got := len(topo.Edges); got != 12 {
+		t.Fatalf("edges = %d", got)
+	}
+	if got := topo.CountRemoteEdges(); got != 4 {
+		t.Fatalf("remote edges = %d", got)
+	}
+	if got := len(topo.Nodes()); got != 4 {
+		t.Fatalf("nodes = %d", got)
+	}
+	for _, o := range topo.Objects {
+		if o.Rooted {
+			t.Fatal("ring must be garbage (no roots)")
+		}
+	}
+}
+
+func TestRingClampsDegenerateParams(t *testing.T) {
+	topo := Ring(0, 0)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes()) != 2 {
+		t.Fatalf("nodes = %d, want clamp to 2", len(topo.Nodes()))
+	}
+}
+
+func TestLiveRingRootsHead(t *testing.T) {
+	topo := LiveRing(3, 2)
+	rooted := 0
+	for _, o := range topo.Objects {
+		if o.Rooted {
+			rooted++
+			if o.Name != RingHead() {
+				t.Fatalf("rooted object %q, want %q", o.Name, RingHead())
+			}
+		}
+	}
+	if rooted != 1 {
+		t.Fatalf("rooted = %d", rooted)
+	}
+}
+
+func TestFigurePresetsValidate(t *testing.T) {
+	for _, topo := range []*Topology{Figure1(), Figure3(), Figure4()} {
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", topo.Name, err)
+		}
+	}
+	if got := Figure3().CountRemoteEdges(); got != 4 {
+		t.Errorf("figure3 remote edges = %d", got)
+	}
+	// 8 remote edges; V->T and Y->T share one stub, so 7 distinct refs.
+	if got := Figure4().CountRemoteEdges(); got != 8 {
+		t.Errorf("figure4 remote edges = %d", got)
+	}
+	if got := Figure1().CountRemoteEdges(); got != 5 {
+		t.Errorf("figure1 remote edges = %d", got)
+	}
+}
+
+func TestAcyclicChainShape(t *testing.T) {
+	topo := AcyclicChain(5)
+	if len(topo.Objects) != 5 || len(topo.Edges) != 4 {
+		t.Fatalf("objects=%d edges=%d", len(topo.Objects), len(topo.Edges))
+	}
+	if topo.CountRemoteEdges() != 4 {
+		t.Fatalf("remote edges = %d", topo.CountRemoteEdges())
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []*Topology{
+		{Objects: []ObjSpec{{Name: "", Node: "P1"}}},
+		{Objects: []ObjSpec{{Name: "a", Node: "P1"}, {Name: "a", Node: "P2"}}},
+		{Objects: []ObjSpec{{Name: "a", Node: "P1"}}, Edges: []EdgeSpec{{From: "zz", To: "a"}}},
+		{Objects: []ObjSpec{{Name: "a", Node: "P1"}}, Edges: []EdgeSpec{{From: "a", To: "zz"}}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid topology accepted", i)
+		}
+	}
+}
+
+func TestRandomGraphDeterministicPerSeed(t *testing.T) {
+	cfg := RandomConfig{Procs: 4, ObjsPerProc: 5, OutDegree: 2, RemoteFrac: 0.5, RootFrac: 0.2}
+	a := RandomGraph(7, cfg)
+	b := RandomGraph(7, cfg)
+	if len(a.Objects) != len(b.Objects) || len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	c := RandomGraph(8, cfg)
+	same := len(a.Edges) == len(c.Edges)
+	if same {
+		identical := true
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRandomGraphAlwaysValid(t *testing.T) {
+	f := func(seed int64, procs, objs uint8) bool {
+		cfg := RandomConfig{
+			Procs:       int(procs%6) + 1,
+			ObjsPerProc: int(objs%8) + 1,
+			OutDegree:   1.5,
+			RemoteFrac:  0.5,
+			RootFrac:    0.2,
+		}
+		return RandomGraph(seed, cfg).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGraphClampsDegenerate(t *testing.T) {
+	topo := RandomGraph(1, RandomConfig{})
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Objects) != 1 {
+		t.Fatalf("objects = %d", len(topo.Objects))
+	}
+}
