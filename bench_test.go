@@ -106,36 +106,77 @@ func BenchmarkSerialization(b *testing.B) {
 }
 
 func BenchmarkSummarize(b *testing.B) {
-	// Summarization cost on the serialization experiment's graph shape,
-	// with one scion so the per-scion trace runs.
-	for _, objects := range []int{1000, 10000} {
-		b.Run(fmt.Sprintf("objs=%d", objects), func(b *testing.B) {
-			cfg := node.Config{}
-			c := dgc.NewCluster(1, cfg, "P1", "P2")
-			n := c.Node("P1")
-			var first dgc.ObjID
-			n.With(func(m dgc.Mutator) {
-				var prev dgc.ObjID
-				for i := 0; i < objects; i++ {
-					o := m.Alloc(nil)
-					if i == 0 {
-						first = o
-					} else {
-						if err := m.Link(prev, o); err != nil {
-							b.Fatal(err)
-						}
+	// Summarization cost over the stress graph of
+	// experiments.BuildSummarizeHeap: a deep spine plus random edges, with
+	// the scion count swept so the per-scion component of the summarizer's
+	// complexity is visible. Calls snapshot.Summarize directly (the node
+	// layer's unchanged-heap cache would short-circuit repeat calls).
+	for _, objects := range []int{1000, 10000, 100000} {
+		for _, scions := range []int{4, 64, 512} {
+			b.Run(fmt.Sprintf("objs=%d/scions=%d", objects, scions), func(b *testing.B) {
+				h, tb := experiments.BuildSummarizeHeap(objects, scions)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sum := snapshot.Summarize(h, tb, uint64(i+1))
+					if len(sum.Scions) != tb.NumScions() {
+						b.Fatalf("summary has %d scions, want %d", len(sum.Scions), tb.NumScions())
 					}
-					prev = o
 				}
 			})
-			if err := n.EnsureScionFor("P2", first); err != nil {
+		}
+	}
+}
+
+func BenchmarkGCRound(b *testing.B) {
+	// One full collection round (LGC, summarize, detect on every node) on a
+	// live multi-node ring with per-round garbage churn, so every phase does
+	// real work each iteration. The cluster's worker pool parallelizes the
+	// node-independent phases.
+	for _, procs := range []int{8, 32} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			cfg := node.Config{}
+			c := dgc.NewCluster(1, cfg)
+			if _, err := c.Materialize(workload.LiveRing(procs, 2), cfg); err != nil {
 				b.Fatal(err)
 			}
+			// Bulk out each node's heap so per-node phase work dominates
+			// scheduling overhead.
+			for _, n := range c.Nodes() {
+				n.With(func(m dgc.Mutator) {
+					var prev dgc.ObjID
+					for i := 0; i < 2000; i++ {
+						o := m.Alloc(nil)
+						if i == 0 {
+							if err := m.Root(o); err != nil {
+								b.Fatal(err)
+							}
+						} else if err := m.Link(prev, o); err != nil {
+							b.Fatal(err)
+						}
+						prev = o
+					}
+				})
+			}
+			c.GCRound() // warm-up: tables and summaries exist
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := n.Summarize(); err != nil {
-					b.Fatal(err)
+				// Churn: fresh garbage on every node invalidates summaries
+				// and gives the LGC something to sweep.
+				for _, n := range c.Nodes() {
+					n.With(func(m dgc.Mutator) {
+						prev := m.Alloc(nil)
+						for j := 0; j < 50; j++ {
+							o := m.Alloc(nil)
+							if err := m.Link(prev, o); err != nil {
+								b.Fatal(err)
+							}
+							prev = o
+						}
+					})
 				}
+				c.GCRound()
 			}
 		})
 	}

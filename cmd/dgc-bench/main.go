@@ -14,10 +14,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
@@ -28,7 +31,21 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	quick := flag.Bool("quick", false, "smaller parameters for a fast run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	run := func(name string, fn func(quick bool) error) {
 		if *exp != "all" && *exp != name {
@@ -52,6 +69,30 @@ func main() {
 	run("race", runRace)
 	run("lease", runLease)
 	run("disruption", runDisruption)
+	run("summarize", runSummarize)
+	run("gcround", runGCRound)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+	}
+}
+
+// writeJSON lands a result table in a BENCH_*.json file next to the working
+// directory, so runs leave a machine-readable record.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func tw() *tabwriter.Writer {
@@ -233,6 +274,86 @@ func runDisruption(quick bool) error {
 			r.SnapshotPause.Round(time.Microsecond), r.InvokeLatency.Round(time.Microsecond))
 	}
 	return w.Flush()
+}
+
+// runSummarize sweeps graph summarization over the heap-size × scion
+// matrix and lands the numbers in BENCH_summarize.json.
+func runSummarize(quick bool) error {
+	objects := []int{1000, 10000, 100000}
+	scions := []int{4, 64, 512}
+	reps := 3
+	if quick {
+		objects = []int{1000, 10000}
+		reps = 1
+	}
+	rows, err := experiments.SummarizeScale(objects, scions, reps)
+	if err != nil {
+		return err
+	}
+	baseline := experiments.SummarizeBaseline()
+	before := make(map[[2]int]time.Duration, len(baseline))
+	for _, b := range baseline {
+		before[[2]int{b.Objects, b.Scions}] = b.Duration
+	}
+	w := tw()
+	fmt.Fprintln(w, "objects\tscions\tper-scion BFS (recorded)\tsingle-pass\tspeedup")
+	var speedup10kx512 float64
+	for _, r := range rows {
+		b := before[[2]int{r.Objects, r.Scions}]
+		sp := "-"
+		if b > 0 && r.Duration > 0 {
+			ratio := float64(b) / float64(r.Duration)
+			sp = fmt.Sprintf("%.1fx", ratio)
+			if r.Objects == 10000 && r.Scions == 512 {
+				speedup10kx512 = ratio
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t%v\t%v\t%s\n",
+			r.Objects, r.Scions, b.Round(time.Microsecond), r.Duration.Round(time.Microsecond), sp)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return writeJSON("BENCH_summarize.json", map[string]any{
+		"benchmark":            "graph summarization, BuildSummarizeHeap matrix (best of reps)",
+		"cpu":                  "Intel Xeon @ 2.10GHz",
+		"before_per_scion_bfs": baseline,
+		"after_single_pass":    rows,
+		"speedup_10000x512":    speedup10kx512,
+	})
+}
+
+// runGCRound measures one settled cluster GC round, sequential versus the
+// parallel worker pool, landing the numbers in BENCH_gcround.json.
+func runGCRound(quick bool) error {
+	procs := []int{8, 32}
+	rounds := 5
+	if quick {
+		procs = []int{8}
+		rounds = 2
+	}
+	rows, err := experiments.GCRoundScale(procs, rounds)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "processes\tworkers\tGC round")
+	for _, r := range rows {
+		workers := fmt.Sprintf("%d", r.Workers)
+		if r.Workers == 0 {
+			workers = fmt.Sprintf("NumCPU(%d)", runtime.NumCPU())
+		}
+		fmt.Fprintf(w, "%d\t%s\t%v\n", r.Procs, workers, r.Round.Round(time.Microsecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return writeJSON("BENCH_gcround.json", map[string]any{
+		"benchmark": "one settled cluster GC round, live ring + 2000-object chains + churn (best of rounds)",
+		"cpu":       "Intel Xeon @ 2.10GHz",
+		"num_cpu":   runtime.NumCPU(),
+		"rows":      rows,
+	})
 }
 
 // runRace quantifies Figure 5: mutator races abort detections, never

@@ -9,6 +9,8 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"dgc/internal/heap"
 	"dgc/internal/ids"
@@ -24,6 +26,11 @@ type Cluster struct {
 	Net   *transport.Network
 	nodes map[ids.NodeID]*node.Node
 	order []ids.NodeID
+
+	// workers bounds the worker pool of the parallel GC phases
+	// (0 = runtime.NumCPU). Set via SetWorkers; 1 forces sequential
+	// execution, which parallel runs are bit-identical to.
+	workers int
 }
 
 // New creates a cluster of nodes with the given shared configuration. The
@@ -88,23 +95,84 @@ func (c *Cluster) Tick(rounds int) {
 	}
 }
 
+// SetWorkers bounds the worker pool used by the parallel GC phases.
+// 0 restores the default (runtime.NumCPU); 1 forces sequential execution.
+// Parallel runs are bit-identical to sequential ones — see runPhase.
+func (c *Cluster) SetWorkers(k int) {
+	if k < 0 {
+		k = 0
+	}
+	c.workers = k
+}
+
+// runPhase applies fn to every node. The phases of a GC round are
+// node-independent — each call touches only its own node's state and sends
+// messages, and no message is delivered until the next Settle — so fn runs
+// on a bounded worker pool. Determinism is preserved by staging: the fabric
+// captures sends per source while the pool runs, then FlushStage replays
+// them in canonical node order through fault injection and the queue, so the
+// queue contents and the fault randomness stream are bit-identical to
+// running the phase sequentially.
+func (c *Cluster) runPhase(fn func(n *node.Node) error) {
+	w := c.workers
+	if w == 0 {
+		w = runtime.NumCPU()
+	}
+	if w > len(c.order) {
+		w = len(c.order)
+	}
+	if w <= 1 || len(c.order) <= 1 {
+		for _, id := range c.order {
+			if err := fn(c.nodes[id]); err != nil {
+				panic(fmt.Sprintf("cluster: %s: %v", id, err))
+			}
+		}
+		return
+	}
+	c.Net.BeginStage()
+	errs := make([]error, len(c.order))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, w)
+	for i, id := range c.order {
+		i, n := i, c.nodes[id]
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(n)
+		}()
+	}
+	wg.Wait()
+	c.Net.FlushStage(c.order)
+	for i, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("cluster: %s: %v", c.order[i], err))
+		}
+	}
+}
+
 // GCRound runs one explicit, fully-settled collection round on every node:
 // local collections (emitting NewSetStubs), then summarizations, then
 // detections. Used by tests that drive the collectors manually instead of
-// through Tick.
+// through Tick. Each phase runs on the parallel worker pool (see runPhase);
+// results are identical to the sequential schedule.
 func (c *Cluster) GCRound() {
-	for _, id := range c.order {
-		c.nodes[id].RunLGC()
-	}
+	c.runPhase(func(n *node.Node) error {
+		n.RunLGC()
+		return nil
+	})
 	c.Settle()
-	for _, id := range c.order {
-		if err := c.nodes[id].Summarize(); err != nil {
-			panic(fmt.Sprintf("cluster: summarize %s: %v", id, err))
+	c.runPhase(func(n *node.Node) error {
+		if err := n.Summarize(); err != nil {
+			return fmt.Errorf("summarize: %w", err)
 		}
-	}
-	for _, id := range c.order {
-		c.nodes[id].RunDetection()
-	}
+		return nil
+	})
+	c.runPhase(func(n *node.Node) error {
+		n.RunDetection()
+		return nil
+	})
 	c.Settle()
 }
 
@@ -124,38 +192,39 @@ func (c *Cluster) CollectFully(maxRounds int) int {
 	return maxRounds
 }
 
-// TotalObjects sums heap sizes over all nodes.
+// TotalObjects sums heap sizes over all nodes, in canonical node order (a
+// deterministic visit order, so aggregation work is reproducible).
 func (c *Cluster) TotalObjects() int {
 	total := 0
-	for _, n := range c.nodes {
-		total += n.NumObjects()
+	for _, id := range c.order {
+		total += c.nodes[id].NumObjects()
 	}
 	return total
 }
 
-// TotalScions sums scion counts over all nodes.
+// TotalScions sums scion counts over all nodes in canonical order.
 func (c *Cluster) TotalScions() int {
 	total := 0
-	for _, n := range c.nodes {
-		total += n.NumScions()
+	for _, id := range c.order {
+		total += c.nodes[id].NumScions()
 	}
 	return total
 }
 
-// TotalStubs sums stub counts over all nodes.
+// TotalStubs sums stub counts over all nodes in canonical order.
 func (c *Cluster) TotalStubs() int {
 	total := 0
-	for _, n := range c.nodes {
-		total += n.NumStubs()
+	for _, id := range c.order {
+		total += c.nodes[id].NumStubs()
 	}
 	return total
 }
 
-// Stats collects every node's counters.
+// Stats collects every node's counters in canonical order.
 func (c *Cluster) Stats() map[ids.NodeID]node.Stats {
-	out := make(map[ids.NodeID]node.Stats, len(c.nodes))
-	for id, n := range c.nodes {
-		out[id] = n.Stats()
+	out := make(map[ids.NodeID]node.Stats, len(c.order))
+	for _, id := range c.order {
+		out[id] = c.nodes[id].Stats()
 	}
 	return out
 }

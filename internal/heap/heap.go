@@ -45,6 +45,19 @@ type Heap struct {
 	nextID  ids.ObjID
 	objects map[ids.ObjID]*Object
 	roots   map[ids.ObjID]struct{}
+
+	// gen is the mutation epoch: it advances on every structural change
+	// (allocation, deletion, reference or root edit, payload replacement).
+	// Consumers such as the summarization cache compare generations to
+	// detect that a heap is unchanged since they last read it.
+	gen uint64
+
+	// Traversal scratch, reused across ReachableFrom/MarkReachable calls so
+	// mark and summarize rounds stop allocating queues and visited maps per
+	// call. Guarded by the same single-goroutine discipline as the heap.
+	queueBuf []ids.ObjID
+	marked   map[ids.ObjID]uint64
+	markGen  uint64
 }
 
 // New returns an empty heap owned by the given node.
@@ -86,6 +99,11 @@ func Restore(node ids.NodeID, objects []*Object, roots []ids.ObjID, nextID ids.O
 // Node returns the identifier of the owning process.
 func (h *Heap) Node() ids.NodeID { return h.node }
 
+// Gen returns the heap's mutation epoch. Two equal Gen values bracket a
+// window with no structural change, so any derived artifact (summary,
+// snapshot encoding) computed inside the window is still valid.
+func (h *Heap) Gen() uint64 { return h.gen }
+
 // NextID returns the id the next allocation will receive. Exposed for
 // snapshot codecs.
 func (h *Heap) NextID() ids.ObjID { return h.nextID }
@@ -98,6 +116,7 @@ func (h *Heap) Alloc(payload []byte) *Object {
 	o := &Object{ID: h.nextID, Payload: payload}
 	h.nextID++
 	h.objects[o.ID] = o
+	h.gen++
 	return o
 }
 
@@ -113,8 +132,12 @@ func (h *Heap) Contains(id ids.ObjID) bool {
 // Delete removes the object with the given id from the heap. Deleting a
 // missing object is a no-op. Used by the local garbage collector's sweep.
 func (h *Heap) Delete(id ids.ObjID) {
+	if _, ok := h.objects[id]; !ok {
+		return
+	}
 	delete(h.objects, id)
 	delete(h.roots, id)
+	h.gen++
 }
 
 // AddRoot marks the object as a member of the process-local root set.
@@ -124,11 +147,18 @@ func (h *Heap) AddRoot(id ids.ObjID) error {
 		return fmt.Errorf("heap %s: AddRoot: no object %d", h.node, id)
 	}
 	h.roots[id] = struct{}{}
+	h.gen++
 	return nil
 }
 
 // RemoveRoot removes the object from the root set (no-op if absent).
-func (h *Heap) RemoveRoot(id ids.ObjID) { delete(h.roots, id) }
+func (h *Heap) RemoveRoot(id ids.ObjID) {
+	if _, ok := h.roots[id]; !ok {
+		return
+	}
+	delete(h.roots, id)
+	h.gen++
+}
 
 // IsRoot reports whether the object is in the root set.
 func (h *Heap) IsRoot(id ids.ObjID) bool {
@@ -157,6 +187,7 @@ func (h *Heap) AddLocalRef(from, to ids.ObjID) error {
 		return fmt.Errorf("heap %s: AddLocalRef: no object %d", h.node, to)
 	}
 	f.Locals = append(f.Locals, to)
+	h.gen++
 	return nil
 }
 
@@ -170,6 +201,7 @@ func (h *Heap) RemoveLocalRef(from, to ids.ObjID) error {
 	for i, r := range f.Locals {
 		if r == to {
 			f.Locals = append(f.Locals[:i], f.Locals[i+1:]...)
+			h.gen++
 			return nil
 		}
 	}
@@ -187,6 +219,7 @@ func (h *Heap) AddRemoteRef(from ids.ObjID, target ids.GlobalRef) error {
 		return fmt.Errorf("heap %s: AddRemoteRef: target %v is local", h.node, target)
 	}
 	f.Remotes = append(f.Remotes, target)
+	h.gen++
 	return nil
 }
 
@@ -200,10 +233,25 @@ func (h *Heap) RemoveRemoteRef(from ids.ObjID, target ids.GlobalRef) error {
 	for i, r := range f.Remotes {
 		if r == target {
 			f.Remotes = append(f.Remotes[:i], f.Remotes[i+1:]...)
+			h.gen++
 			return nil
 		}
 	}
 	return fmt.Errorf("heap %s: RemoveRemoteRef: no reference %d->%v", h.node, from, target)
+}
+
+// SetPayload replaces the payload of an existing object. Routed through the
+// heap (rather than poking the Object) so the mutation epoch advances: a
+// payload change invalidates serialized snapshots even though it cannot
+// change reachability.
+func (h *Heap) SetPayload(id ids.ObjID, payload []byte) error {
+	o := h.Get(id)
+	if o == nil {
+		return fmt.Errorf("heap %s: SetPayload: no object %d", h.node, id)
+	}
+	o.Payload = payload
+	h.gen++
+	return nil
 }
 
 // IDs returns all object identifiers in ascending order.
@@ -230,6 +278,7 @@ func (h *Heap) Clone() *Heap {
 	c := &Heap{
 		node:    h.node,
 		nextID:  h.nextID,
+		gen:     h.gen,
 		objects: make(map[ids.ObjID]*Object, len(h.objects)),
 		roots:   make(map[ids.ObjID]struct{}, len(h.roots)),
 	}

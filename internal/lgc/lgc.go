@@ -62,15 +62,18 @@ func (c *Collector) Collect(pinned ...ids.GlobalRef) Result {
 
 	// Mark. Two traces: from real local roots (for reachability statistics
 	// and, indirectly, Local.Reach summarization), and from roots + scions
-	// (the actual liveness).
-	fromRoots := c.heap.ReachableFromRoots()
-	seeds := c.heap.Roots()
-	seeds = append(seeds, c.table.ScionTargets()...)
-	live := c.heap.ReachableFrom(seeds...)
+	// (the actual liveness). Both are epoch Marks over the heap's reusable
+	// scratch; the roots-only count must be captured before the second
+	// traversal recycles the epoch.
+	roots := c.heap.Roots()
+	rootsMark := c.heap.MarkReachable(roots...)
+	res.LocallyReachable = rootsMark.Len()
+	seeds := append(roots, c.table.ScionTargets()...)
+	liveMark := c.heap.MarkReachable(seeds...)
 
-	// Sweep.
+	// Sweep. Deleting objects does not disturb the mark epoch.
 	for _, id := range c.heap.IDs() {
-		if _, ok := live[id]; !ok {
+		if !liveMark.Contains(id) {
 			c.heap.Delete(id)
 			res.Swept++
 		}
@@ -80,7 +83,7 @@ func (c *Collector) Collect(pinned ...ids.GlobalRef) Result {
 	// held by live objects ("the LGC generates a new set of stubs each time
 	// it runs", §1). Invocation counters of surviving stubs are preserved.
 	wanted := make(map[ids.GlobalRef]struct{})
-	for _, r := range c.heap.RemoteRefsFrom(live) {
+	for _, r := range c.heap.RemoteRefsFromMark(liveMark) {
 		wanted[r] = struct{}{}
 	}
 	for _, r := range pinned {
@@ -99,7 +102,6 @@ func (c *Collector) Collect(pinned ...ids.GlobalRef) Result {
 	}
 
 	res.Live = c.heap.Len()
-	res.LocallyReachable = len(fromRoots)
 	c.Rounds++
 	return res
 }

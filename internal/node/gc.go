@@ -95,6 +95,21 @@ func (n *Node) Summarize() error {
 }
 
 func (n *Node) summarizeLocked() error {
+	// Mutation-epoch cache: when neither the heap nor the reference tables
+	// changed since the last rebuild, the existing summary is still exact,
+	// so serialization and summarization are both skipped. The CDM
+	// accumulators are still reset — reprocessing re-delivered CDMs against
+	// the same summary is the loss-retry mechanism, and must not be
+	// suppressed by dedup state surviving a (cheap) summarization round.
+	if n.summary != nil && n.heap.Gen() == n.sumHeapGen && n.table.Gen() == n.sumTableGen {
+		n.stats.Summarizations++
+		n.stats.SummaryCacheHits++
+		n.emit(trace.KindSummarize, "version=%d scions=%d stubs=%d cached",
+			n.summary.Version, len(n.summary.Scions), len(n.summary.Stubs))
+		n.cdmAcc = make(map[core.DetectionID]*detAcc)
+		n.cdmAborted = make(map[core.DetectionID]struct{})
+		return nil
+	}
 	n.snapVersion++
 	if n.cfg.Codec != nil {
 		data, err := n.cfg.Codec.Encode(n.heap)
@@ -118,6 +133,8 @@ func (n *Node) summarizeLocked() error {
 	// so stale drops cannot mask newly-useful deliveries.
 	n.cdmAcc = make(map[core.DetectionID]*detAcc)
 	n.cdmAborted = make(map[core.DetectionID]struct{})
+	n.sumHeapGen = n.heap.Gen()
+	n.sumTableGen = n.table.Gen()
 	return nil
 }
 

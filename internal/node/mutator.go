@@ -95,12 +95,7 @@ func (m Mutator) Payload(obj ids.ObjID) []byte {
 
 // SetPayload replaces the object's payload.
 func (m Mutator) SetPayload(obj ids.ObjID, payload []byte) error {
-	o := m.n.heap.Get(obj)
-	if o == nil {
-		return m.n.errf("SetPayload: no object %d", obj)
-	}
-	o.Payload = payload
-	return nil
+	return m.n.heap.SetPayload(obj, payload)
 }
 
 // Invoke starts a remote invocation from within a handler or With block.

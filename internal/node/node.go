@@ -67,23 +67,27 @@ type Config struct {
 
 // Stats counts node activity.
 type Stats struct {
-	Clock           uint64
-	InvokesSent     uint64
-	InvokesHandled  uint64
-	RepliesHandled  uint64
-	CallsFailed     uint64
-	ExportsPending  uint64
-	ScionsCreated   uint64
-	ScionsDropped   uint64 // deleted by NewSetStubs application
-	LGCRuns         uint64
-	ObjectsSwept    uint64
-	Summarizations  uint64
-	SnapshotBytes   uint64
-	StubSetsSent    uint64
-	StubSetsApplied uint64
-	CDMsDeduped     uint64 // CDM deliveries that added no new information
-	CDMsRaceDropped uint64 // CDM deliveries conflicting with the merged view
-	Detector        core.Stats
+	Clock          uint64
+	InvokesSent    uint64
+	InvokesHandled uint64
+	RepliesHandled uint64
+	CallsFailed    uint64
+	ExportsPending uint64
+	ScionsCreated  uint64
+	ScionsDropped  uint64 // deleted by NewSetStubs application
+	LGCRuns        uint64
+	ObjectsSwept   uint64
+	Summarizations uint64
+	// SummaryCacheHits counts Summarize calls satisfied by the
+	// mutation-epoch cache (heap and tables unchanged since the last
+	// rebuild, so the existing summary is still exact).
+	SummaryCacheHits uint64
+	SnapshotBytes    uint64
+	StubSetsSent     uint64
+	StubSetsApplied  uint64
+	CDMsDeduped      uint64 // CDM deliveries that added no new information
+	CDMsRaceDropped  uint64 // CDM deliveries conflicting with the merged view
+	Detector         core.Stats
 }
 
 // Reply is the caller-side result of a remote invocation.
@@ -122,6 +126,12 @@ type Node struct {
 	clock        uint64
 	snapVersion  uint64
 	detectCursor uint64 // round-robin offset for bounded detection rounds
+
+	// sumHeapGen/sumTableGen record the heap and table mutation epochs at
+	// the last summary rebuild; while both still match, Summarize is a
+	// cache hit and skips re-encoding and re-summarizing.
+	sumHeapGen  uint64
+	sumTableGen uint64
 
 	methods map[string]Method
 

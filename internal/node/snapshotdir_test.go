@@ -19,6 +19,21 @@ func TestSnapshotDirWritesSerializedSnapshots(t *testing.T) {
 	if err := a.Summarize(); err != nil {
 		t.Fatal(err)
 	}
+	// An unchanged heap is a summarization cache hit: no new snapshot file.
+	if err := a.Summarize(); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err := os.ReadDir(dir); err != nil {
+		t.Fatal(err)
+	} else if len(entries) != 1 {
+		t.Fatalf("snapshot files after cache hit = %d, want 1", len(entries))
+	}
+	if s := a.Stats(); s.Summarizations != 2 || s.SummaryCacheHits != 1 {
+		t.Fatalf("Summarizations=%d CacheHits=%d, want 2 and 1",
+			s.Summarizations, s.SummaryCacheHits)
+	}
+	// A heap mutation invalidates the cache and produces a second file.
+	a.With(func(m Mutator) { m.Alloc(nil) })
 	if err := a.Summarize(); err != nil {
 		t.Fatal(err)
 	}

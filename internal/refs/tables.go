@@ -52,6 +52,12 @@ type Table struct {
 	node   ids.NodeID
 	stubs  map[ids.GlobalRef]*Stub
 	scions map[ScionKey]*Scion
+
+	// gen is the mutation epoch: it advances whenever a table entry is
+	// created, deleted, restored or has its invocation counter bumped.
+	// Together with the heap's epoch it lets the summarization cache prove
+	// that a previously built summary is still exact.
+	gen uint64
 }
 
 // NewTable returns empty stub/scion tables for the given process.
@@ -66,6 +72,9 @@ func NewTable(node ids.NodeID) *Table {
 // Node returns the owning process identifier.
 func (t *Table) Node() ids.NodeID { return t.node }
 
+// Gen returns the table's mutation epoch.
+func (t *Table) Gen() uint64 { return t.gen }
+
 // EnsureStub returns the stub for target, creating it (with IC zero) if
 // needed. created reports whether a new stub was created.
 func (t *Table) EnsureStub(target ids.GlobalRef) (s *Stub, created bool) {
@@ -74,6 +83,7 @@ func (t *Table) EnsureStub(target ids.GlobalRef) (s *Stub, created bool) {
 	}
 	s = &Stub{Target: target}
 	t.stubs[target] = s
+	t.gen++
 	return s, true
 }
 
@@ -81,7 +91,13 @@ func (t *Table) EnsureStub(target ids.GlobalRef) (s *Stub, created bool) {
 func (t *Table) Stub(target ids.GlobalRef) *Stub { return t.stubs[target] }
 
 // DeleteStub removes the stub for target (no-op if absent).
-func (t *Table) DeleteStub(target ids.GlobalRef) { delete(t.stubs, target) }
+func (t *Table) DeleteStub(target ids.GlobalRef) {
+	if _, ok := t.stubs[target]; !ok {
+		return
+	}
+	delete(t.stubs, target)
+	t.gen++
+}
 
 // Stubs returns all stubs in canonical target order.
 func (t *Table) Stubs() []*Stub {
@@ -105,6 +121,7 @@ func (t *Table) EnsureScion(src ids.NodeID, obj ids.ObjID) (s *Scion, created bo
 	}
 	s = &Scion{Src: src, Obj: obj}
 	t.scions[k] = s
+	t.gen++
 	return s, true
 }
 
@@ -121,6 +138,7 @@ func (t *Table) DeleteScion(src ids.NodeID, obj ids.ObjID) bool {
 		return false
 	}
 	delete(t.scions, k)
+	t.gen++
 	return true
 }
 
@@ -174,12 +192,14 @@ func (t *Table) ScionsForObject(obj ids.ObjID) []*Scion {
 // Used when loading persisted state; overwrites any existing entry.
 func (t *Table) RestoreStub(target ids.GlobalRef, ic uint64) {
 	t.stubs[target] = &Stub{Target: target, IC: ic}
+	t.gen++
 }
 
 // RestoreScion reinstates a scion with an explicit invocation counter.
 // Used when loading persisted state; overwrites any existing entry.
 func (t *Table) RestoreScion(src ids.NodeID, obj ids.ObjID, ic uint64) {
 	t.scions[ScionKey{Src: src, Obj: obj}] = &Scion{Src: src, Obj: obj, IC: ic}
+	t.gen++
 }
 
 // BumpStubIC increments the invocation counter of the stub for target and
@@ -191,6 +211,7 @@ func (t *Table) BumpStubIC(target ids.GlobalRef) (uint64, error) {
 		return 0, fmt.Errorf("refs %s: BumpStubIC: no stub for %v", t.node, target)
 	}
 	s.IC++
+	t.gen++
 	return s.IC, nil
 }
 
@@ -202,5 +223,6 @@ func (t *Table) BumpScionIC(src ids.NodeID, obj ids.ObjID) (uint64, error) {
 		return 0, fmt.Errorf("refs %s: BumpScionIC: no scion for %s->%d", t.node, src, obj)
 	}
 	s.IC++
+	t.gen++
 	return s.IC, nil
 }

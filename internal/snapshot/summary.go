@@ -13,6 +13,8 @@
 package snapshot
 
 import (
+	"math/bits"
+
 	"dgc/internal/heap"
 	"dgc/internal/ids"
 	"dgc/internal/refs"
@@ -77,9 +79,14 @@ func (s *Summary) Stub(target ids.GlobalRef) *StubSummary {
 // the mutator runs concurrently; in the deterministic simulation the live
 // heap may be summarized directly between mutator steps.
 //
-// The traversal is breadth-first per scion, mirroring the paper's
-// implementation note. Cost is O(scions x heap) worst case; references
-// strictly internal to the process are folded away.
+// The engine is single-pass: it builds a dense heap.Index (adjacency plus a
+// reverse holder table), condenses the local graph into strongly connected
+// components, and propagates per-component *scion bitsets* along the
+// condensation in topological order. Every scion's transitive stub set and
+// every stub's scion set then fall out of one O(words) union per holder,
+// for a total cost of O(V + E x S/64) instead of the former per-scion BFS's
+// O(S x (V + E)). References strictly internal to the process fold away;
+// output lists are emitted directly in canonical order.
 func Summarize(h *heap.Heap, table *refs.Table, version uint64) *Summary {
 	sum := &Summary{
 		Node:    h.Node(),
@@ -88,57 +95,106 @@ func Summarize(h *heap.Heap, table *refs.Table, version uint64) *Summary {
 		Stubs:   make(map[ids.GlobalRef]*StubSummary),
 	}
 
-	// Local.Reach: objects reachable from real local roots.
-	fromRoots := h.ReachableFromRoots()
+	ix := h.BuildIndex()
+	rootReach := ix.RootFlags() // Local.Reach per dense index
 
-	// Initialize stub summaries from the stub table.
+	// Stub records from the stub table. A remote ref held in the heap
+	// without a stub record (possible between LGC rounds) is skipped
+	// conservatively, exactly as the per-scion implementation did.
 	for _, st := range table.Stubs() {
-		localReach := false
-		for holder := range h.HoldersOf(st.Target) {
-			if _, ok := fromRoots[holder]; ok {
-				localReach = true
-				break
-			}
-		}
-		sum.Stubs[st.Target] = &StubSummary{
-			Target:     st.Target,
-			IC:         st.IC,
-			LocalReach: localReach,
-		}
+		sum.Stubs[st.Target] = &StubSummary{Target: st.Target, IC: st.IC}
 	}
 
-	// Per-scion reachability: which stubs does each scion lead to?
+	// Scion records in canonical (Src, Obj) order. Because every RefID
+	// shares this node as Dst.Node, canonical RefID order coincides with
+	// this order, so lists built by ascending scion index need no sort.
 	self := h.Node()
-	for _, sc := range table.Scions() {
-		ref := sc.RefID(self)
-		reach := h.ReachableFrom(sc.Obj)
-		stubTargets := h.RemoteRefsFrom(reach)
-		// Keep only targets with a stub record (they should all have one
-		// after an LGC round; between rounds a remote ref may briefly lack
-		// a stub — the summarizer registers it with IC from the table or
-		// skips it conservatively).
-		kept := stubTargets[:0]
-		for _, tgt := range stubTargets {
-			if _, ok := sum.Stubs[tgt]; ok {
-				kept = append(kept, tgt)
+	scions := table.Scions()
+	nscions := len(scions)
+	words := (nscions + 63) / 64
+	refIDs := make([]ids.RefID, nscions)
+	scSums := make([]*ScionSummary, nscions)
+	for i, sc := range scions {
+		refIDs[i] = sc.RefID(self)
+		lr := false
+		if p, ok := ix.Pos(sc.Obj); ok {
+			lr = rootReach[p]
+		}
+		scSums[i] = &ScionSummary{Ref: refIDs[i], IC: sc.IC, LocalReach: lr}
+		sum.Scions[refIDs[i]] = scSums[i]
+	}
+
+	if nscions > 0 {
+		// Seed each scion's bit at its object's component, then push the
+		// bitsets through the condensation DAG. Component ids come out of
+		// Tarjan in completion order, so descending id is a topological
+		// order: processing a component pushes the union of everything
+		// that reaches it onto its successors exactly once.
+		comp, ncomp := ix.SCC()
+		rows := make([]uint64, int(ncomp)*words)
+		for i, sc := range scions {
+			if p, ok := ix.Pos(sc.Obj); ok {
+				row := rows[int(comp[p])*words:]
+				row[i>>6] |= 1 << (uint(i) & 63)
 			}
 		}
-		_, localReach := fromRoots[sc.Obj]
-		sum.Scions[ref] = &ScionSummary{
-			Ref:        ref,
-			IC:         sc.IC,
-			StubsFrom:  append([]ids.GlobalRef(nil), kept...),
-			LocalReach: localReach,
+		compAdj := ix.Condense(comp, ncomp)
+		for c := int(ncomp) - 1; c >= 0; c-- {
+			row := rows[c*words : (c+1)*words]
+			for _, d := range compAdj[c] {
+				drow := rows[int(d)*words : (int(d)+1)*words]
+				for w := range drow {
+					drow[w] |= row[w]
+				}
+			}
 		}
-		// Invert into ScionsTo.
-		for _, tgt := range kept {
+
+		// Emit: for each stub target (canonical order), union the scion
+		// sets of its holders, then distribute the set bits into StubsFrom
+		// and ScionsTo. Both orders are canonical by construction.
+		union := make([]uint64, words)
+		for t, tgt := range ix.Targets() {
 			ss := sum.Stubs[tgt]
-			ss.ScionsTo = append(ss.ScionsTo, ref)
+			if ss == nil {
+				continue
+			}
+			for w := range union {
+				union[w] = 0
+			}
+			for _, hp := range ix.Holders(int32(t)) {
+				if rootReach[hp] {
+					ss.LocalReach = true
+				}
+				row := rows[int(comp[hp])*words:]
+				for w := 0; w < words; w++ {
+					union[w] |= row[w]
+				}
+			}
+			for w := 0; w < words; w++ {
+				word := union[w]
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= 1 << uint(b)
+					si := w*64 + b
+					scSums[si].StubsFrom = append(scSums[si].StubsFrom, tgt)
+					ss.ScionsTo = append(ss.ScionsTo, refIDs[si])
+				}
+			}
 		}
-	}
-	// Canonical order for ScionsTo lists.
-	for _, ss := range sum.Stubs {
-		ids.SortRefIDs(ss.ScionsTo)
+	} else {
+		// No scions: only the stubs' Local.Reach flags are needed.
+		for t, tgt := range ix.Targets() {
+			ss := sum.Stubs[tgt]
+			if ss == nil {
+				continue
+			}
+			for _, hp := range ix.Holders(int32(t)) {
+				if rootReach[hp] {
+					ss.LocalReach = true
+					break
+				}
+			}
+		}
 	}
 	return sum
 }

@@ -52,6 +52,10 @@ type Network struct {
 	faults    Faults
 	rng       *rand.Rand
 
+	// staging, when non-nil, captures sends per source instead of running
+	// them through fault injection and the queue. See BeginStage.
+	staging map[ids.NodeID][]envelope
+
 	// Stats, guarded by mu.
 	sent      map[wire.Kind]uint64
 	delivered map[wire.Kind]uint64
@@ -165,19 +169,71 @@ func cloneCounts(m map[wire.Kind]uint64) map[wire.Kind]uint64 {
 	return out
 }
 
+// BeginStage switches the fabric into staging mode: until FlushStage, sends
+// are captured per source node instead of being run through accounting,
+// fault injection and the queue. Staging lets concurrent senders preserve
+// the fabric's determinism — fault randomness and queue order are decided
+// at flush time, in an order the caller controls, rather than by goroutine
+// scheduling. Messages are never delivered while staged (delivery only
+// happens in Step/Drain, which the owner calls between phases).
+func (n *Network) BeginStage() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.staging != nil {
+		panic("transport: BeginStage while already staging")
+	}
+	n.staging = make(map[ids.NodeID][]envelope)
+}
+
+// FlushStage ends staging mode and replays the captured sends through the
+// normal send path — accounting, fault injection, enqueue — source by source
+// in the given order (each source's sends in their original order). Flushing
+// in a canonical source order makes the resulting queue and random-number
+// stream bit-identical to sequential execution. Sources with staged sends
+// that are missing from order are flushed afterwards in unspecified order;
+// callers should pass every possible sender.
+func (n *Network) FlushStage(order []ids.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	staged := n.staging
+	n.staging = nil
+	for _, id := range order {
+		for _, env := range staged[id] {
+			n.sendLocked(env.from, env.to, env.msg)
+		}
+		delete(staged, id)
+	}
+	for _, envs := range staged {
+		for _, env := range envs {
+			n.sendLocked(env.from, env.to, env.msg)
+		}
+	}
+}
+
 func (n *Network) send(from, to ids.NodeID, msg wire.Message) error {
 	if msg == nil {
 		return fmt.Errorf("transport: nil message")
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.staging != nil {
+		n.staging[from] = append(n.staging[from], envelope{from: from, to: to, msg: msg})
+		return nil
+	}
+	n.sendLocked(from, to, msg)
+	return nil
+}
+
+// sendLocked runs one send through accounting, fault injection and the
+// queue. Caller holds mu.
+func (n *Network) sendLocked(from, to ids.NodeID, msg wire.Message) {
 	n.sent[msg.Kind()]++
 	n.bytes += uint64(len(wire.Encode(msg)))
 
 	if n.faults.affects(msg.Kind()) {
 		if n.faults.LossRate > 0 && n.rng.Float64() < n.faults.LossRate {
 			n.dropped[msg.Kind()]++
-			return nil // silently lost, as on a real network
+			return // silently lost, as on a real network
 		}
 		copies := 1
 		if n.faults.DupRate > 0 && n.rng.Float64() < n.faults.DupRate {
@@ -186,10 +242,9 @@ func (n *Network) send(from, to ids.NodeID, msg wire.Message) error {
 		for i := 0; i < copies; i++ {
 			n.enqueue(envelope{from: from, to: to, msg: msg})
 		}
-		return nil
+		return
 	}
 	n.enqueue(envelope{from: from, to: to, msg: msg})
-	return nil
 }
 
 // enqueue appends or, under the reorder fault, inserts at a random position.
