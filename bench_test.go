@@ -15,6 +15,8 @@ package dgc_test
 //	BenchmarkLossSweep            — Loss-1
 //	BenchmarkAblationDeleteMode   — Abl-1
 //	BenchmarkAlgebraMatch/CDMCodec— microbenchmarks of the hot paths
+//	BenchmarkDetectRound          — detection rounds on a garbage ring
+//	BenchmarkCDMHop               — one CDM hop: clone, derive, match, encode
 //
 // Absolute times are this machine's; EXPERIMENTS.md records them against
 // the paper's and discusses shape agreement.
@@ -434,6 +436,61 @@ func BenchmarkCDMCodec(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(len(data)), "bytes/CDM")
+}
+
+func BenchmarkDetectRound(b *testing.B) {
+	// The detection rounds that drain a garbage ring: the CDM fan-out and
+	// accumulator merging dominate, exercising the interned algebra end to
+	// end (dgc-bench -exp detect reports the same path against the recorded
+	// map-algebra baseline).
+	for _, procs := range []int{8, 32} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.DetectRoundScale([]int{procs}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(rows[0].CDMsSent), "CDMs/collection")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCDMHop(b *testing.B) {
+	// One CDM hop at a receiving process: clone the accumulated algebra,
+	// derive, check for a match, and build + frame the outgoing message —
+	// the per-message unit of work detection latency scales with.
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			alg := core.NewAlg()
+			for i := 0; i < n; i++ {
+				r := ids.RefID{Src: "P1", Dst: ids.GlobalRef{Node: "P2", Obj: ids.ObjID(i)}}
+				alg.AddSource(r, uint64(i))
+				if i%2 == 0 {
+					alg.AddTarget(r, uint64(i))
+				}
+			}
+			det := core.DetectionID{Origin: "P1", Seq: 1}
+			along := ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P1", Obj: 1}}
+			newSrc := ids.RefID{Src: "P8", Dst: ids.GlobalRef{Node: "P9", Obj: 7}}
+			frame := make([]byte, 0, 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				derived := alg.Clone()
+				derived.AddTarget(along, 3)
+				derived.AddSource(newSrc, 4)
+				if _, abort := derived.MatchStatus(); abort {
+					b.Fatal("unexpected abort")
+				}
+				msg := wire.NewCDMFromAlg(det, along, derived, 3)
+				frame = wire.AppendEncode(frame[:0], msg)
+			}
+		})
+	}
 }
 
 func BenchmarkLGC(b *testing.B) {

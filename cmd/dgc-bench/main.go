@@ -71,6 +71,8 @@ func main() {
 	run("disruption", runDisruption)
 	run("summarize", runSummarize)
 	run("gcround", runGCRound)
+	run("detect", runDetect)
+	run("wire", runWire)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -353,6 +355,128 @@ func runGCRound(quick bool) error {
 		"cpu":       "Intel Xeon @ 2.10GHz",
 		"num_cpu":   runtime.NumCPU(),
 		"rows":      rows,
+	})
+}
+
+// runDetect measures the detection-round and CDM-hop hot paths against the
+// recorded pre-interning baseline, landing the numbers in BENCH_detect.json.
+func runDetect(quick bool) error {
+	procs := []int{8, 32}
+	reps, hopIters := 60, 20000
+	if quick {
+		procs = []int{8}
+		reps, hopIters = 3, 1000
+	}
+	rows, err := experiments.DetectRoundScale(procs, reps)
+	if err != nil {
+		return err
+	}
+	baseline := experiments.DetectBaseline()
+	before := make(map[int]experiments.DetectRow, len(baseline))
+	for _, b := range baseline {
+		before[b.Procs] = b
+	}
+	w := tw()
+	fmt.Fprintln(w, "processes\tmap algebra (recorded)\tinterned algebra\tspeedup\tallocs before\tallocs after")
+	var speedup32 float64
+	for _, r := range rows {
+		b := before[r.Procs]
+		sp := "-"
+		if b.Wall > 0 && r.Wall > 0 {
+			ratio := float64(b.Wall) / float64(r.Wall)
+			sp = fmt.Sprintf("%.1fx", ratio)
+			if r.Procs == 32 {
+				speedup32 = ratio
+			}
+		}
+		fmt.Fprintf(w, "%d\t%v\t%v\t%s\t%d\t%d\n",
+			r.Procs, b.Wall.Round(time.Microsecond), r.Wall.Round(time.Microsecond), sp, b.Allocs, r.Allocs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	hops, err := experiments.CDMHopScale([]int{16, 64, 256}, hopIters)
+	if err != nil {
+		return err
+	}
+	hopBase := experiments.CDMHopBaseline()
+	hb := make(map[int]experiments.HopRow, len(hopBase))
+	for _, b := range hopBase {
+		hb[b.Entries] = b
+	}
+	w = tw()
+	fmt.Fprintln(w, "algebra entries\tper hop before\tper hop after\tspeedup\tallocs/hop before\tallocs/hop after")
+	for _, r := range hops {
+		b := hb[r.Entries]
+		sp := "-"
+		if b.PerHop > 0 && r.PerHop > 0 {
+			sp = fmt.Sprintf("%.1fx", float64(b.PerHop)/float64(r.PerHop))
+		}
+		fmt.Fprintf(w, "%d\t%v\t%v\t%s\t%.1f\t%.1f\n",
+			r.Entries, b.PerHop.Round(time.Nanosecond), r.PerHop.Round(time.Nanosecond), sp, b.AllocsPer, r.AllocsPer)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return writeJSON("BENCH_detect.json", map[string]any{
+		"benchmark":            "DCDA detection rounds on a garbage ring (best of reps) + single CDM hop derivation",
+		"cpu":                  "Intel Xeon @ 2.10GHz",
+		"before_map_algebra":   baseline,
+		"after_interned":       rows,
+		"before_hop":           hopBase,
+		"after_hop":            hops,
+		"speedup_32procs":      speedup32,
+		"hop_alloc_reductions": hopAllocReductions(hopBase, hops),
+	})
+}
+
+func hopAllocReductions(before, after []experiments.HopRow) map[string]float64 {
+	ba := make(map[int]float64, len(before))
+	for _, b := range before {
+		ba[b.Entries] = b.AllocsPer
+	}
+	out := make(map[string]float64, len(after))
+	for _, r := range after {
+		if r.AllocsPer > 0 {
+			out[fmt.Sprintf("%d", r.Entries)] = ba[r.Entries] / r.AllocsPer
+		}
+	}
+	return out
+}
+
+// runWire measures the pooled CDM codec against the recorded per-message
+// allocating baseline, landing the numbers in BENCH_wire.json.
+func runWire(quick bool) error {
+	iters := 50000
+	if quick {
+		iters = 2000
+	}
+	rows, err := experiments.WireCodecScale([]int{16, 64, 256}, iters)
+	if err != nil {
+		return err
+	}
+	baseline := experiments.WireBaseline()
+	before := make(map[int]experiments.WireRow, len(baseline))
+	for _, b := range baseline {
+		before[b.Entries] = b
+	}
+	w := tw()
+	fmt.Fprintln(w, "entries\tencode before\tencode after\tdecode before\tdecode after\tdec allocs before\tdec allocs after")
+	for _, r := range rows {
+		b := before[r.Entries]
+		fmt.Fprintf(w, "%d\t%v\t%v\t%v\t%v\t%.0f\t%.1f\n",
+			r.Entries, b.EncodeNs, r.EncodeNs, b.DecodeNs, r.DecodeNs, b.DecAllocs, r.DecAllocs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return writeJSON("BENCH_wire.json", map[string]any{
+		"benchmark":       "CDM wire codec, pooled encode buffers + interned decode NodeIDs",
+		"cpu":             "Intel Xeon @ 2.10GHz",
+		"before":          baseline,
+		"after":           rows,
+		"iters_per_point": iters,
 	})
 }
 

@@ -1,0 +1,467 @@
+package core
+
+// algReference is the retired map[ids.RefID]Entry implementation of the CDM
+// algebra, kept verbatim as the executable specification for the interned
+// dense representation in algebra.go (the same pattern as
+// summarizeReference for PR 1's summarization engine). The property tests
+// below drive both implementations through identical operation sequences
+// drawn from the random corpus and require identical observable behaviour:
+// return values, match results, canonical listings, String renderings and
+// Fingerprint values. The wire-level byte-identity check lives in
+// internal/wire (wire_test.go), which core cannot import.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dgc/internal/ids"
+)
+
+type algReference struct {
+	Entries map[ids.RefID]Entry
+}
+
+func newAlgReference() algReference {
+	return algReference{Entries: make(map[ids.RefID]Entry)}
+}
+
+func (a algReference) Clone() algReference {
+	c := algReference{Entries: make(map[ids.RefID]Entry, len(a.Entries))}
+	for k, v := range a.Entries {
+		c.Entries[k] = v
+	}
+	return c
+}
+
+func (a algReference) AddSource(ref ids.RefID, ic uint64) (changed, conflict bool) {
+	e, ok := a.Entries[ref]
+	if ok && e.InSource {
+		return false, e.SrcIC != ic
+	}
+	e.InSource = true
+	e.SrcIC = ic
+	a.Entries[ref] = e
+	return true, false
+}
+
+func (a algReference) AddTarget(ref ids.RefID, ic uint64) (changed, conflict bool) {
+	e, ok := a.Entries[ref]
+	if ok && e.InTarget {
+		return false, e.TgtIC != ic
+	}
+	e.InTarget = true
+	e.TgtIC = ic
+	a.Entries[ref] = e
+	return true, false
+}
+
+func (a algReference) Equal(b algReference) bool {
+	if len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for k, v := range a.Entries {
+		if bv, ok := b.Entries[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (a algReference) Len() int { return len(a.Entries) }
+
+func (a algReference) SourceRefs() []ids.RefID {
+	var out []ids.RefID
+	for r, e := range a.Entries {
+		if e.InSource {
+			out = append(out, r)
+		}
+	}
+	ids.SortRefIDs(out)
+	return out
+}
+
+func (a algReference) TargetRefs() []ids.RefID {
+	var out []ids.RefID
+	for r, e := range a.Entries {
+		if e.InTarget {
+			out = append(out, r)
+		}
+	}
+	ids.SortRefIDs(out)
+	return out
+}
+
+func (a algReference) Match() MatchResult {
+	var res MatchResult
+	for r, e := range a.Entries {
+		switch {
+		case e.InSource && e.InTarget:
+			if e.SrcIC != e.TgtIC {
+				res.Abort = true
+				if res.AbortRef == (ids.RefID{}) || r.Less(res.AbortRef) {
+					res.AbortRef = r
+				}
+			}
+		case e.InSource:
+			res.Unresolved = append(res.Unresolved, r)
+		case e.InTarget:
+			res.Frontier = append(res.Frontier, r)
+		}
+	}
+	ids.SortRefIDs(res.Unresolved)
+	ids.SortRefIDs(res.Frontier)
+	res.CycleFound = !res.Abort && len(res.Unresolved) == 0
+	return res
+}
+
+func (a algReference) Merge(b algReference) (changed, conflict bool) {
+	for r, eb := range b.Entries {
+		ea, ok := a.Entries[r]
+		if !ok {
+			a.Entries[r] = eb
+			changed = true
+			continue
+		}
+		merged := ea
+		if eb.InSource {
+			if ea.InSource {
+				if ea.SrcIC != eb.SrcIC {
+					conflict = true
+				}
+			} else {
+				merged.InSource = true
+				merged.SrcIC = eb.SrcIC
+				changed = true
+			}
+		}
+		if eb.InTarget {
+			if ea.InTarget {
+				if ea.TgtIC != eb.TgtIC {
+					conflict = true
+				}
+			} else {
+				merged.InTarget = true
+				merged.TgtIC = eb.TgtIC
+				changed = true
+			}
+		}
+		a.Entries[r] = merged
+	}
+	return changed, conflict
+}
+
+func (a algReference) Fingerprint() uint64 {
+	const (
+		refOffset64 = 14695981039346656037
+		refPrime64  = 1099511628211
+	)
+	var acc uint64
+	for r, e := range a.Entries {
+		h := uint64(refOffset64)
+		mix := func(s string) {
+			for i := 0; i < len(s); i++ {
+				h ^= uint64(s[i])
+				h *= refPrime64
+			}
+			h ^= 0xFF
+			h *= refPrime64
+		}
+		mixU := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				h ^= v & 0xFF
+				h *= refPrime64
+				v >>= 8
+			}
+		}
+		mix(string(r.Src))
+		mix(string(r.Dst.Node))
+		mixU(uint64(r.Dst.Obj))
+		var bits uint64
+		if e.InSource {
+			bits |= 1
+		}
+		if e.InTarget {
+			bits |= 2
+		}
+		mixU(bits)
+		mixU(e.SrcIC)
+		mixU(e.TgtIC)
+		acc ^= h
+	}
+	return acc
+}
+
+func (a algReference) String() string {
+	var b strings.Builder
+	b.WriteString("{{")
+	refWriteSide(&b, a.SourceRefs(), a.Entries, true)
+	b.WriteString("} -> {")
+	refWriteSide(&b, a.TargetRefs(), a.Entries, false)
+	b.WriteString("}}")
+	return b.String()
+}
+
+func refWriteSide(b *strings.Builder, refs []ids.RefID, entries map[ids.RefID]Entry, source bool) {
+	for i, r := range refs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		e := entries[r]
+		ic := e.TgtIC
+		if source {
+			ic = e.SrcIC
+		}
+		if ic != 0 {
+			fmt.Fprintf(b, "{%s, %d}", r, ic)
+		} else {
+			b.WriteString(r.String())
+		}
+	}
+}
+
+// ---- differential harness -------------------------------------------------
+
+// algPair drives both implementations through the same operations and checks
+// every observable after each step.
+type algPair struct {
+	a Alg
+	r algReference
+}
+
+func newAlgPair() *algPair {
+	return &algPair{a: NewAlg(), r: newAlgReference()}
+}
+
+// randomRef draws from the same small universe as randomAlg so collisions
+// (re-adds, conflicting counters, overlapping merges) are common.
+func randomRef(rng *rand.Rand) ids.RefID {
+	return ids.RefID{
+		Src: ids.NodeID([]string{"P1", "P2", "P3"}[rng.Intn(3)]),
+		Dst: ids.GlobalRef{
+			Node: ids.NodeID([]string{"P4", "P5"}[rng.Intn(2)]),
+			Obj:  ids.ObjID(rng.Intn(6)),
+		},
+	}
+}
+
+func (p *algPair) check(t *testing.T, op string) {
+	t.Helper()
+	if got, want := p.a.Len(), p.r.Len(); got != want {
+		t.Fatalf("%s: Len = %d, reference %d", op, got, want)
+	}
+	if got, want := refIDsKey(p.a.SourceRefs()), refIDsKey(p.r.SourceRefs()); got != want {
+		t.Fatalf("%s: SourceRefs = %s, reference %s", op, got, want)
+	}
+	if got, want := refIDsKey(p.a.TargetRefs()), refIDsKey(p.r.TargetRefs()); got != want {
+		t.Fatalf("%s: TargetRefs = %s, reference %s", op, got, want)
+	}
+	ma, mr := p.a.Match(), p.r.Match()
+	if refIDsKey(ma.Unresolved) != refIDsKey(mr.Unresolved) ||
+		refIDsKey(ma.Frontier) != refIDsKey(mr.Frontier) ||
+		ma.Abort != mr.Abort || ma.AbortRef != mr.AbortRef || ma.CycleFound != mr.CycleFound {
+		t.Fatalf("%s: Match = %+v, reference %+v", op, ma, mr)
+	}
+	if cf, ab := p.a.MatchStatus(); cf != ma.CycleFound || ab != ma.Abort {
+		t.Fatalf("%s: MatchStatus = (%v, %v), Match says (%v, %v)", op, cf, ab, ma.CycleFound, ma.Abort)
+	}
+	if got, want := p.a.Fingerprint(), p.r.Fingerprint(); got != want {
+		t.Fatalf("%s: Fingerprint = %#x, reference %#x", op, got, want)
+	}
+	if got, want := p.a.String(), p.r.String(); got != want {
+		t.Fatalf("%s: String = %q, reference %q", op, got, want)
+	}
+	// Every entry readable and identical via Get.
+	for ref, want := range p.r.Entries {
+		got, ok := p.a.Get(ref)
+		if !ok || got != want {
+			t.Fatalf("%s: Get(%v) = (%+v, %v), reference %+v", op, ref, got, ok, want)
+		}
+	}
+}
+
+func refIDsKey(refs []ids.RefID) string {
+	var b strings.Builder
+	for _, r := range refs {
+		b.WriteString(r.String())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// TestAlgMatchesReferenceProperty drives random operation sequences —
+// AddSource, AddTarget, Set, Delete, Clone, Merge with a random other
+// algebra — through the interned and the map implementation and requires
+// identical observable behaviour at every step.
+func TestAlgMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newAlgPair()
+		steps := 3 + rng.Intn(30)
+		for i := 0; i < steps; i++ {
+			var op string
+			switch rng.Intn(7) {
+			case 0, 1:
+				ref, ic := randomRef(rng), uint64(rng.Intn(4))
+				op = fmt.Sprintf("AddSource(%v, %d)", ref, ic)
+				c1, x1 := p.a.AddSource(ref, ic)
+				c2, x2 := p.r.AddSource(ref, ic)
+				if c1 != c2 || x1 != x2 {
+					t.Logf("%s: returned (%v, %v), reference (%v, %v)", op, c1, x1, c2, x2)
+					return false
+				}
+			case 2, 3:
+				ref, ic := randomRef(rng), uint64(rng.Intn(4))
+				op = fmt.Sprintf("AddTarget(%v, %d)", ref, ic)
+				c1, x1 := p.a.AddTarget(ref, ic)
+				c2, x2 := p.r.AddTarget(ref, ic)
+				if c1 != c2 || x1 != x2 {
+					t.Logf("%s: returned (%v, %v), reference (%v, %v)", op, c1, x1, c2, x2)
+					return false
+				}
+			case 4:
+				ref := randomRef(rng)
+				e := Entry{
+					InSource: rng.Intn(2) == 0, SrcIC: uint64(rng.Intn(4)),
+					InTarget: rng.Intn(2) == 0, TgtIC: uint64(rng.Intn(4)),
+				}
+				op = fmt.Sprintf("Set(%v, %+v)", ref, e)
+				p.a.Set(ref, e)
+				p.r.Entries[ref] = e
+			case 5:
+				ref := randomRef(rng)
+				op = fmt.Sprintf("Delete(%v)", ref)
+				p.a.Delete(ref)
+				delete(p.r.Entries, ref)
+			case 6:
+				// Merge a random algebra built the same way on both sides.
+				ops := rng.Intn(8)
+				ob := NewAlg()
+				or := newAlgReference()
+				for j := 0; j < ops; j++ {
+					ref, ic := randomRef(rng), uint64(rng.Intn(4))
+					if rng.Intn(2) == 0 {
+						ob.AddSource(ref, ic)
+						or.AddSource(ref, ic)
+					} else {
+						ob.AddTarget(ref, ic)
+						or.AddTarget(ref, ic)
+					}
+				}
+				op = fmt.Sprintf("Merge(%v)", or)
+				c1, x1 := p.a.Merge(ob)
+				c2, x2 := p.r.Merge(or)
+				if c1 != c2 || x1 != x2 {
+					t.Logf("%s: returned (%v, %v), reference (%v, %v)", op, c1, x1, c2, x2)
+					return false
+				}
+			}
+			p.check(t, op)
+
+			// Clone independence: mutating a clone never leaks back.
+			if rng.Intn(4) == 0 {
+				ca, cr := p.a.Clone(), p.r.Clone()
+				ref := randomRef(rng)
+				ca.AddTarget(ref, 9)
+				cr.AddTarget(ref, 9)
+				p.check(t, op+" [post-clone]")
+				if ca.Fingerprint() != cr.Fingerprint() {
+					t.Logf("%s: clone fingerprints diverged", op)
+					return false
+				}
+			}
+		}
+		// Equal agreement: against itself, a clone and a rebuilt copy.
+		if !p.a.Equal(p.a.Clone()) || !p.r.Equal(p.r.Clone()) {
+			t.Log("Equal(clone) = false")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAlgMatchesReferenceOnCorpus replays the randomAlg corpus (the same
+// generator the fingerprint property tests use) through both
+// implementations.
+func TestAlgMatchesReferenceOnCorpus(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomAlg(rng)
+		r := newAlgReference()
+		a.Each(func(ref ids.RefID, e Entry) bool {
+			r.Entries[ref] = e
+			return true
+		})
+		p := &algPair{a: a, r: r}
+		p.check(t, fmt.Sprintf("corpus seed %d", seed))
+	}
+}
+
+// TestMergeInternedMatchesMerge: merging a flattened (id, Entry) stream must
+// behave exactly like building an algebra from it and merging that — for any
+// order of the stream, including injected duplicates (last occurrence wins).
+func TestMergeInternedMatchesMerge(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		a := randomAlg(rng)
+		b := randomAlg(rng)
+
+		type pair struct {
+			id int32
+			e  Entry
+		}
+		var pairs []pair
+		b.EachCanonicalInterned(func(id int32, r ids.RefID, e Entry) bool {
+			if InternRef(r) != id {
+				t.Fatalf("seed %d: EachCanonicalInterned id %d != InternRef %d", seed, id, InternRef(r))
+			}
+			pairs = append(pairs, pair{id: id, e: e})
+			return true
+		})
+		// Yield order must not matter for distinct references: shuffle.
+		rng.Shuffle(len(pairs), func(i, j int) {
+			pairs[i], pairs[j] = pairs[j], pairs[i]
+		})
+		// Then prepend a stale duplicate of one reference: the original,
+		// yielded later, must win.
+		if len(pairs) > 1 {
+			stale := pairs[rng.Intn(len(pairs))]
+			stale.e.SrcIC += 7
+			pairs = append([]pair{stale}, pairs...)
+		}
+
+		viaMerge := a.Clone()
+		viaInterned := a.Clone()
+		c1, f1 := viaMerge.Merge(b)
+		c2, f2 := viaInterned.MergeInterned(len(pairs), func(i int) (int32, Entry) {
+			return pairs[i].id, pairs[i].e
+		})
+		if c2 != c1 || f2 != f1 {
+			t.Fatalf("seed %d: MergeInterned = (%v,%v), Merge = (%v,%v)", seed, c2, f2, c1, f1)
+		}
+		if !viaInterned.Equal(viaMerge) {
+			t.Fatalf("seed %d: MergeInterned result differs:\n%v\n%v", seed, viaInterned, viaMerge)
+		}
+	}
+}
+
+// TestAlgEqualDisagreements: Equal must reject the same near-misses as the
+// reference (size, missing key, differing entry).
+func TestAlgEqualDisagreements(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a := randomAlg(rng)
+		b := randomAlg(rng)
+		ra, rb := newAlgReference(), newAlgReference()
+		a.Each(func(ref ids.RefID, e Entry) bool { ra.Entries[ref] = e; return true })
+		b.Each(func(ref ids.RefID, e Entry) bool { rb.Entries[ref] = e; return true })
+		if a.Equal(b) != ra.Equal(rb) {
+			t.Fatalf("trial %d: Equal = %v, reference %v\na=%v\nb=%v", trial, a.Equal(b), ra.Equal(rb), a, b)
+		}
+	}
+}

@@ -16,11 +16,22 @@
 // each side. Matching removes references present in both sets when their
 // counters agree; a counter disagreement proves a mutator invocation raced
 // the detection and aborts it (§3.2).
+//
+// Representation: entries are keyed by a process-local interned reference id
+// (see ids.Interner) and kept in a slice sorted by that id. Derivation
+// clones are a single slice copy, matching is a linear scan, and merging two
+// algebras is a linear merge-join — the string-keyed map this replaces made
+// every CDM hop rehash and copy each reference. The map implementation is
+// retained as algReference in the package tests and the two are verified
+// equivalent (including wire bytes) by property tests.
 package core
 
 import (
 	"fmt"
+	"slices"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"dgc/internal/ids"
 )
@@ -33,26 +44,128 @@ type Entry struct {
 	TgtIC    uint64 // stub-side invocation counter (valid when InTarget)
 }
 
+// Presence bits of algEntry.bits.
+const (
+	bitSource = 1 << 0
+	bitTarget = 1 << 1
+)
+
+// algEntry is the dense in-memory form of one algebra entry: the interned
+// reference id, packed presence bits and both invocation counters. Counters
+// are kept even when the matching bit is clear, mirroring the map
+// representation where a full Entry value sat under each key.
+type algEntry struct {
+	ref   int32
+	bits  uint8
+	srcIC uint64
+	tgtIC uint64
+}
+
+func (e algEntry) entry() Entry {
+	return Entry{
+		InSource: e.bits&bitSource != 0,
+		SrcIC:    e.srcIC,
+		InTarget: e.bits&bitTarget != 0,
+		TgtIC:    e.tgtIC,
+	}
+}
+
+func packEntry(ref int32, e Entry) algEntry {
+	var bits uint8
+	if e.InSource {
+		bits |= bitSource
+	}
+	if e.InTarget {
+		bits |= bitTarget
+	}
+	return algEntry{ref: ref, bits: bits, srcIC: e.SrcIC, tgtIC: e.TgtIC}
+}
+
+// refTab interns every RefID that enters a CDM algebra in this process.
+// Interned ids are process-local (never on the wire) and grow with the set
+// of distinct references seen, which the reference-listing tables bound.
+var refTab = ids.NewInterner()
+
+// InternRef exposes the algebra's interning table: the stable dense id for
+// r in this process. Intended for diagnostics and tests.
+func InternRef(r ids.RefID) int32 { return refTab.Intern(r) }
+
 // Alg is the CDM algebra: a mapping from references to entries. The zero
 // value is not usable; construct with NewAlg. Alg values are mutated by Add*
 // and copied with Clone before derivation, mirroring the paper's CDM
 // derivations (Alg_1a, Alg_1b, ...).
 type Alg struct {
-	Entries map[ids.RefID]Entry
+	s *algState
+}
+
+// algState holds the entries sorted by interned reference id. Alg is a
+// value-with-pointer so the historical value-receiver mutation API keeps
+// working.
+type algState struct {
+	entries []algEntry
 }
 
 // NewAlg returns an empty algebra.
 func NewAlg() Alg {
-	return Alg{Entries: make(map[ids.RefID]Entry)}
+	return Alg{s: &algState{}}
 }
 
-// Clone returns an independent copy.
-func (a Alg) Clone() Alg {
-	c := Alg{Entries: make(map[ids.RefID]Entry, len(a.Entries))}
-	for k, v := range a.Entries {
-		c.Entries[k] = v
+// NewAlgSized returns an empty algebra with capacity for n entries — the
+// CDM-decode constructor, which knows the entry count up front.
+func NewAlgSized(n int) Alg {
+	return Alg{s: &algState{entries: make([]algEntry, 0, n)}}
+}
+
+// find returns the index of ref in the sorted entry slice, or the insertion
+// point with ok=false.
+func (s *algState) find(ref int32) (int, bool) {
+	lo, hi := 0, len(s.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.entries[mid].ref < ref {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return c
+	return lo, lo < len(s.entries) && s.entries[lo].ref == ref
+}
+
+// insertAt splices e into the sorted slice at index i.
+func (s *algState) insertAt(i int, e algEntry) {
+	s.entries = append(s.entries, algEntry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+}
+
+// cloneSlack is the spare capacity a Clone carries: the cloner is the
+// detector's derivation step, which immediately adds the followed stub and a
+// handful of dependencies, and the slack makes those inserts realloc-free.
+const cloneSlack = 8
+
+// inlineEntries is the entry capacity allocated inline with the state header
+// on small clones. The paper's cycles span a handful of processes, so most
+// derivations fit and clone in ONE allocation; larger algebras fall back to
+// a separate backing array.
+const inlineEntries = 24
+
+// algBlock co-allocates an algState with its initial backing array. Growth
+// past the inline capacity reallocates the slice away from buf as usual.
+type algBlock struct {
+	algState
+	buf [inlineEntries]algEntry
+}
+
+// Clone returns an independent copy: a single slice copy, with slack for the
+// derivation's inserts, in one allocation for small algebras.
+func (a Alg) Clone() Alg {
+	es := a.entries()
+	if len(es)+cloneSlack <= inlineEntries {
+		b := &algBlock{}
+		b.entries = append(b.buf[:0:inlineEntries], es...)
+		return Alg{s: &b.algState}
+	}
+	return Alg{s: &algState{entries: append(make([]algEntry, 0, len(es)+cloneSlack), es...)}}
 }
 
 // AddSource inserts ref into the source set with the given scion-side
@@ -64,55 +177,269 @@ func (a Alg) Clone() Alg {
 // CDM-Graph with an interleaved invocation, which is exactly the race the
 // algorithm must abort on.
 func (a Alg) AddSource(ref ids.RefID, ic uint64) (changed, conflict bool) {
-	e, ok := a.Entries[ref]
-	if ok && e.InSource {
-		return false, e.SrcIC != ic
+	id := refTab.Intern(ref)
+	i, ok := a.s.find(id)
+	if ok {
+		e := &a.s.entries[i]
+		if e.bits&bitSource != 0 {
+			return false, e.srcIC != ic
+		}
+		e.bits |= bitSource
+		e.srcIC = ic
+		return true, false
 	}
-	e.InSource = true
-	e.SrcIC = ic
-	a.Entries[ref] = e
+	a.s.insertAt(i, algEntry{ref: id, bits: bitSource, srcIC: ic})
 	return true, false
 }
 
 // AddTarget inserts ref into the target set with the given stub-side
 // invocation counter. Semantics mirror AddSource.
 func (a Alg) AddTarget(ref ids.RefID, ic uint64) (changed, conflict bool) {
-	e, ok := a.Entries[ref]
-	if ok && e.InTarget {
-		return false, e.TgtIC != ic
+	id := refTab.Intern(ref)
+	i, ok := a.s.find(id)
+	if ok {
+		e := &a.s.entries[i]
+		if e.bits&bitTarget != 0 {
+			return false, e.tgtIC != ic
+		}
+		e.bits |= bitTarget
+		e.tgtIC = ic
+		return true, false
 	}
-	e.InTarget = true
-	e.TgtIC = ic
-	a.Entries[ref] = e
+	a.s.insertAt(i, algEntry{ref: id, bits: bitTarget, tgtIC: ic})
 	return true, false
+}
+
+// Get returns the entry recorded for ref.
+func (a Alg) Get(ref ids.RefID) (Entry, bool) {
+	if a.s == nil {
+		return Entry{}, false
+	}
+	id, ok := refTab.Lookup(ref)
+	if !ok {
+		return Entry{}, false
+	}
+	i, ok := a.s.find(id)
+	if !ok {
+		return Entry{}, false
+	}
+	return a.s.entries[i].entry(), true
+}
+
+// Set stores a full entry for ref, replacing any previous one. Primarily a
+// constructor aid (CDM decode) and test hook; protocol code grows algebras
+// through AddSource/AddTarget.
+func (a Alg) Set(ref ids.RefID, e Entry) {
+	id := refTab.Intern(ref)
+	i, ok := a.s.find(id)
+	if ok {
+		a.s.entries[i] = packEntry(id, e)
+		return
+	}
+	a.s.insertAt(i, packEntry(id, e))
+}
+
+// Delete removes ref's entry, if present.
+func (a Alg) Delete(ref ids.RefID) {
+	if a.s == nil {
+		return
+	}
+	id, ok := refTab.Lookup(ref)
+	if !ok {
+		return
+	}
+	i, ok := a.s.find(id)
+	if !ok {
+		return
+	}
+	a.s.entries = append(a.s.entries[:i], a.s.entries[i+1:]...)
+}
+
+// Each calls fn for every entry until fn returns false. Iteration order is
+// unspecified (it is the interning order, not the canonical reference
+// order); callers needing determinism sort, as with the map this replaces.
+func (a Alg) Each(fn func(ids.RefID, Entry) bool) {
+	if a.s == nil {
+		return
+	}
+	for _, e := range a.s.entries {
+		if !fn(refTab.Ref(e.ref), e.entry()) {
+			return
+		}
+	}
+}
+
+// canonRanks maps every interned reference id to its rank in the canonical
+// (RefID.Less) order over all references interned so far. Restricting the
+// ranks to any subset of references preserves their canonical relative order,
+// so sorting algebra entries by rank is an integer sort that yields exactly
+// the string order — the wire flattener's hot path. The table is rebuilt
+// (rarely) when the interner has grown since the last use and published
+// through an atomic pointer, so readers never lock.
+var (
+	canonMu  sync.Mutex
+	canonPtr atomic.Pointer[[]int32]
+)
+
+func canonRanks() []int32 {
+	n := refTab.Len()
+	if p := canonPtr.Load(); p != nil && len(*p) >= n {
+		return *p
+	}
+	canonMu.Lock()
+	defer canonMu.Unlock()
+	n = refTab.Len()
+	if p := canonPtr.Load(); p != nil && len(*p) >= n {
+		return *p
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(x, y int32) int {
+		rx, ry := refTab.Ref(x), refTab.Ref(y)
+		if rx.Less(ry) {
+			return -1
+		}
+		if ry.Less(rx) {
+			return 1
+		}
+		return 0
+	})
+	ranks := make([]int32, n)
+	for rank, id := range order {
+		ranks[id] = int32(rank)
+	}
+	canonPtr.Store(&ranks)
+	return ranks
+}
+
+// EachCanonical calls fn for every entry in canonical reference order (the
+// order ids.SortRefIDs produces) until fn returns false. Unlike sorting the
+// output of Each, the iteration order is decided by comparing cached integer
+// ranks, never by re-comparing reference strings.
+func (a Alg) EachCanonical(fn func(ids.RefID, Entry) bool) {
+	a.EachCanonicalInterned(func(_ int32, r ids.RefID, e Entry) bool {
+		return fn(r, e)
+	})
+}
+
+// EachCanonicalInterned is EachCanonical with the entry's interned id also
+// supplied, for callers that cache ids alongside flattened entries (the wire
+// layer keeps them next to CDM entries so in-process deliveries rebuild
+// algebras without re-hashing references).
+// canonScratch pools the sort scratch of EachCanonicalInterned: the sorted
+// view is only needed for the duration of one iteration, so the detection
+// fan-out path allocates nothing for ordering.
+var canonScratch = sync.Pool{New: func() any { return new([]algEntry) }}
+
+func (a Alg) EachCanonicalInterned(fn func(id int32, r ids.RefID, e Entry) bool) {
+	es := a.entries()
+	switch len(es) {
+	case 0:
+		return
+	case 1:
+		fn(es[0].ref, refTab.Ref(es[0].ref), es[0].entry())
+		return
+	}
+	ranks := canonRanks()
+	sp := canonScratch.Get().(*[]algEntry)
+	defer canonScratch.Put(sp)
+	tmp := append((*sp)[:0], es...)
+	*sp = tmp
+	slices.SortFunc(tmp, func(x, y algEntry) int {
+		return int(ranks[x.ref]) - int(ranks[y.ref])
+	})
+	for _, e := range tmp {
+		if !fn(e.ref, refTab.Ref(e.ref), e.entry()) {
+			return
+		}
+	}
+}
+
+// BuildAlg constructs an algebra from the n entries produced by at(0..n-1).
+// It is the bulk form of repeated Set — entries are interned and appended,
+// then sorted once by interned id (an integer sort) — and the constructor of
+// choice for CDM decode, where the per-entry sorted insertion of Set turned
+// message rebuild quadratic. When at yields the same reference more than
+// once, the last occurrence wins, matching Set semantics.
+func BuildAlg(n int, at func(int) (ids.RefID, Entry)) Alg {
+	entries := make([]algEntry, 0, n)
+	for i := 0; i < n; i++ {
+		r, e := at(i)
+		entries = append(entries, packEntry(refTab.Intern(r), e))
+	}
+	slices.SortStableFunc(entries, func(x, y algEntry) int {
+		return int(x.ref) - int(y.ref)
+	})
+	out := entries[:0]
+	for i := range entries {
+		if i+1 < len(entries) && entries[i+1].ref == entries[i].ref {
+			continue // a later duplicate overrides this one
+		}
+		out = append(out, entries[i])
+	}
+	return Alg{s: &algState{entries: out}}
+}
+
+// BuildAlgInterned is BuildAlg for entries whose references are already
+// interned: at yields the interned id directly, so construction performs no
+// reference hashing at all. ids must come from this process's interning table
+// (InternRef / EachCanonicalInterned) — feeding a peer's ids corrupts the
+// algebra, which is why interned ids never travel on the wire.
+func BuildAlgInterned(n int, at func(int) (int32, Entry)) Alg {
+	entries := make([]algEntry, 0, n)
+	for i := 0; i < n; i++ {
+		id, e := at(i)
+		entries = append(entries, packEntry(id, e))
+	}
+	slices.SortStableFunc(entries, func(x, y algEntry) int {
+		return int(x.ref) - int(y.ref)
+	})
+	out := entries[:0]
+	for i := range entries {
+		if i+1 < len(entries) && entries[i+1].ref == entries[i].ref {
+			continue
+		}
+		out = append(out, entries[i])
+	}
+	return Alg{s: &algState{entries: out}}
 }
 
 // Equal reports whether two algebras hold exactly the same entries. Used for
 // the branch-termination rule of §3.1 step 15: a derivation identical to the
 // delivered CDM carries no new information and must not be forwarded.
 func (a Alg) Equal(b Alg) bool {
-	if len(a.Entries) != len(b.Entries) {
+	ae, be := a.entries(), b.entries()
+	if len(ae) != len(be) {
 		return false
 	}
-	for k, v := range a.Entries {
-		if bv, ok := b.Entries[k]; !ok || bv != v {
+	for i := range ae {
+		if ae[i] != be[i] {
 			return false
 		}
 	}
 	return true
 }
 
+func (a Alg) entries() []algEntry {
+	if a.s == nil {
+		return nil
+	}
+	return a.s.entries
+}
+
 // Len returns the number of distinct references in the algebra.
-func (a Alg) Len() int { return len(a.Entries) }
+func (a Alg) Len() int { return len(a.entries()) }
 
 // SourceRefs returns the references in the source set, in canonical order.
 // When a cycle is found, these are precisely the scions of the garbage
 // cycle.
 func (a Alg) SourceRefs() []ids.RefID {
 	var out []ids.RefID
-	for r, e := range a.Entries {
-		if e.InSource {
-			out = append(out, r)
+	for _, e := range a.entries() {
+		if e.bits&bitSource != 0 {
+			out = append(out, refTab.Ref(e.ref))
 		}
 	}
 	ids.SortRefIDs(out)
@@ -122,9 +449,9 @@ func (a Alg) SourceRefs() []ids.RefID {
 // TargetRefs returns the references in the target set, in canonical order.
 func (a Alg) TargetRefs() []ids.RefID {
 	var out []ids.RefID
-	for r, e := range a.Entries {
-		if e.InTarget {
-			out = append(out, r)
+	for _, e := range a.entries() {
+		if e.bits&bitTarget != 0 {
+			out = append(out, refTab.Ref(e.ref))
 		}
 	}
 	ids.SortRefIDs(out)
@@ -165,29 +492,49 @@ type MatchResult struct {
 
 // Match performs algebraic matching. It is a pure view: the algebra itself
 // is not reduced, because the full sets are still needed by downstream
-// processes (the paper's Alg_n always carries full sets).
+// processes (the paper's Alg_n always carries full sets). Detection hot
+// paths that only need the verdict use MatchStatus, which allocates nothing.
 func (a Alg) Match() MatchResult {
 	var res MatchResult
-	for r, e := range a.Entries {
-		switch {
-		case e.InSource && e.InTarget:
-			if e.SrcIC != e.TgtIC {
+	for _, e := range a.entries() {
+		switch e.bits {
+		case bitSource | bitTarget:
+			if e.srcIC != e.tgtIC {
 				res.Abort = true
 				// Prefer the smallest aborting ref for determinism.
+				r := refTab.Ref(e.ref)
 				if res.AbortRef == (ids.RefID{}) || r.Less(res.AbortRef) {
 					res.AbortRef = r
 				}
 			}
-		case e.InSource:
-			res.Unresolved = append(res.Unresolved, r)
-		case e.InTarget:
-			res.Frontier = append(res.Frontier, r)
+		case bitSource:
+			res.Unresolved = append(res.Unresolved, refTab.Ref(e.ref))
+		case bitTarget:
+			res.Frontier = append(res.Frontier, refTab.Ref(e.ref))
 		}
 	}
 	ids.SortRefIDs(res.Unresolved)
 	ids.SortRefIDs(res.Frontier)
 	res.CycleFound = !res.Abort && len(res.Unresolved) == 0
 	return res
+}
+
+// MatchStatus is the allocation-free core of Match: one linear scan over the
+// dense entries yielding only the verdict bits the detector acts on.
+// Equivalent to m := Match(); (m.CycleFound, m.Abort).
+func (a Alg) MatchStatus() (cycleFound, abort bool) {
+	unresolved := false
+	for _, e := range a.entries() {
+		switch e.bits {
+		case bitSource | bitTarget:
+			if e.srcIC != e.tgtIC {
+				abort = true
+			}
+		case bitSource:
+			unresolved = true
+		}
+	}
+	return !abort && !unresolved, abort
 }
 
 // Merge unions b's entries into a. changed reports whether a grew;
@@ -200,84 +547,214 @@ func (a Alg) Match() MatchResult {
 // and the union of two consistent sets is consistent exactly when the
 // counter equality holds. Nodes keep the merged algebra as droppable cache
 // state — losing it costs repeated work, never correctness.
+//
+// Both operands are sorted by interned id, so the union is a linear
+// merge-join. A first detection pass avoids allocating when b adds nothing —
+// the common case for re-delivered CDMs, which the node layer dedupes on
+// changed=false.
 func (a Alg) Merge(b Alg) (changed, conflict bool) {
-	for r, eb := range b.Entries {
-		ea, ok := a.Entries[r]
-		if !ok {
-			a.Entries[r] = eb
-			changed = true
+	return a.mergeEntries(b.entries())
+}
+
+// MergeInterned unions n pre-interned entries, yielded by at(0..n-1) as
+// (interned id, Entry) pairs in any order, into a. It is Merge without the
+// intermediate algebra: the receive path merges a flattened in-process CDM
+// straight into its accumulator, ordering the operand in a pooled scratch
+// buffer. Semantics (changed/conflict, last-duplicate-wins) match building
+// an algebra from the same pairs and merging it.
+func (a Alg) MergeInterned(n int, at func(int) (int32, Entry)) (changed, conflict bool) {
+	if n == 0 {
+		return false, false
+	}
+	sp := canonScratch.Get().(*[]algEntry)
+	defer canonScratch.Put(sp)
+	tmp := (*sp)[:0]
+	for i := 0; i < n; i++ {
+		id, e := at(i)
+		tmp = append(tmp, packEntry(id, e))
+	}
+	*sp = tmp
+	slices.SortStableFunc(tmp, func(x, y algEntry) int {
+		return int(x.ref) - int(y.ref)
+	})
+	be := tmp[:0]
+	for i := range tmp {
+		if i+1 < len(tmp) && tmp[i+1].ref == tmp[i].ref {
 			continue
 		}
-		merged := ea
-		if eb.InSource {
-			if ea.InSource {
-				if ea.SrcIC != eb.SrcIC {
-					conflict = true
-				}
-			} else {
-				merged.InSource = true
-				merged.SrcIC = eb.SrcIC
-				changed = true
-			}
-		}
-		if eb.InTarget {
-			if ea.InTarget {
-				if ea.TgtIC != eb.TgtIC {
-					conflict = true
-				}
-			} else {
-				merged.InTarget = true
-				merged.TgtIC = eb.TgtIC
-				changed = true
-			}
-		}
-		a.Entries[r] = merged
+		be = append(be, tmp[i])
 	}
-	return changed, conflict
+	return a.mergeEntries(be)
+}
+
+func (a Alg) mergeEntries(be []algEntry) (changed, conflict bool) {
+	ae := a.entries()
+	if len(be) == 0 {
+		return false, false
+	}
+	// Detection pass: does b add any entry or presence bit?
+	i, j := 0, 0
+	for i < len(ae) && j < len(be) && !changed {
+		switch {
+		case ae[i].ref < be[j].ref:
+			i++
+		case ae[i].ref > be[j].ref:
+			changed = true
+		default:
+			if be[j].bits&^ae[i].bits != 0 {
+				changed = true
+			}
+			i++
+			j++
+		}
+	}
+	if j < len(be) {
+		changed = true
+	}
+	if !changed {
+		// Pure subset: only counter consistency can differ.
+		i, j = 0, 0
+		for i < len(ae) && j < len(be) {
+			switch {
+			case ae[i].ref < be[j].ref:
+				i++
+			default:
+				if mergeConflict(ae[i], be[j]) {
+					conflict = true
+				}
+				i++
+				j++
+			}
+		}
+		return false, conflict
+	}
+
+	out := make([]algEntry, 0, len(ae)+len(be))
+	i, j = 0, 0
+	for i < len(ae) && j < len(be) {
+		switch {
+		case ae[i].ref < be[j].ref:
+			out = append(out, ae[i])
+			i++
+		case ae[i].ref > be[j].ref:
+			out = append(out, be[j])
+			j++
+		default:
+			m := ae[i]
+			eb := be[j]
+			if eb.bits&bitSource != 0 {
+				if m.bits&bitSource != 0 {
+					if m.srcIC != eb.srcIC {
+						conflict = true
+					}
+				} else {
+					m.bits |= bitSource
+					m.srcIC = eb.srcIC
+				}
+			}
+			if eb.bits&bitTarget != 0 {
+				if m.bits&bitTarget != 0 {
+					if m.tgtIC != eb.tgtIC {
+						conflict = true
+					}
+				} else {
+					m.bits |= bitTarget
+					m.tgtIC = eb.tgtIC
+				}
+			}
+			out = append(out, m)
+			i++
+			j++
+		}
+	}
+	out = append(out, ae[i:]...)
+	out = append(out, be[j:]...)
+	a.s.entries = out
+	return true, conflict
+}
+
+// mergeConflict reports whether two observations of the same reference carry
+// different counters on a side present in both.
+func mergeConflict(ea, eb algEntry) bool {
+	both := ea.bits & eb.bits
+	return (both&bitSource != 0 && ea.srcIC != eb.srcIC) ||
+		(both&bitTarget != 0 && ea.tgtIC != eb.tgtIC)
+}
+
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// fpPrefix caches, per interned reference id, the FNV-1a state after mixing
+// the reference's strings — the expensive, entry-independent part of the
+// per-entry hash. Guarded by fpMu; grows monotonically with the interner.
+var (
+	fpMu     sync.RWMutex
+	fpPrefix []uint64
+)
+
+func fpMix(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= 0xFF
+	h *= prime64
+	return h
+}
+
+func fpMixU(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= prime64
+		v >>= 8
+	}
+	return h
+}
+
+func fpRefPrefix(id int32) uint64 {
+	fpMu.RLock()
+	if int(id) < len(fpPrefix) {
+		p := fpPrefix[id]
+		fpMu.RUnlock()
+		return p
+	}
+	fpMu.RUnlock()
+	fpMu.Lock()
+	for int32(len(fpPrefix)) <= id {
+		r := refTab.Ref(int32(len(fpPrefix)))
+		h := fpMix(uint64(offset64), string(r.Src))
+		h = fpMix(h, string(r.Dst.Node))
+		h = fpMixU(h, uint64(r.Dst.Obj))
+		fpPrefix = append(fpPrefix, h)
+	}
+	p := fpPrefix[id]
+	fpMu.Unlock()
+	return p
 }
 
 // Fingerprint returns an order-independent 64-bit hash of the algebra's
 // entries. Receivers use it (together with the detection id and arrival
 // reference) to deduplicate CDMs that arrive through different paths with
 // identical content; dropping such duplicates is always safe because CDM
-// processing is deterministic.
+// processing is deterministic. The string-dependent hash prefix is cached
+// per interned reference, so repeat fingerprints never re-hash strings.
 func (a Alg) Fingerprint() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
 	// XOR of per-entry FNV-1a hashes: commutative, so no sorting needed.
 	var acc uint64
-	for r, e := range a.Entries {
-		h := uint64(offset64)
-		mix := func(s string) {
-			for i := 0; i < len(s); i++ {
-				h ^= uint64(s[i])
-				h *= prime64
-			}
-			h ^= 0xFF
-			h *= prime64
-		}
-		mixU := func(v uint64) {
-			for i := 0; i < 8; i++ {
-				h ^= v & 0xFF
-				h *= prime64
-				v >>= 8
-			}
-		}
-		mix(string(r.Src))
-		mix(string(r.Dst.Node))
-		mixU(uint64(r.Dst.Obj))
+	for _, e := range a.entries() {
+		h := fpRefPrefix(e.ref)
 		var bits uint64
-		if e.InSource {
+		if e.bits&bitSource != 0 {
 			bits |= 1
 		}
-		if e.InTarget {
+		if e.bits&bitTarget != 0 {
 			bits |= 2
 		}
-		mixU(bits)
-		mixU(e.SrcIC)
-		mixU(e.TgtIC)
+		h = fpMixU(h, bits)
+		h = fpMixU(h, e.srcIC)
+		h = fpMixU(h, e.tgtIC)
 		acc ^= h
 	}
 	return acc
@@ -289,19 +766,19 @@ func (a Alg) Fingerprint() uint64 {
 func (a Alg) String() string {
 	var b strings.Builder
 	b.WriteString("{{")
-	writeSide(&b, a.SourceRefs(), a.Entries, true)
+	a.writeSide(&b, a.SourceRefs(), true)
 	b.WriteString("} -> {")
-	writeSide(&b, a.TargetRefs(), a.Entries, false)
+	a.writeSide(&b, a.TargetRefs(), false)
 	b.WriteString("}}")
 	return b.String()
 }
 
-func writeSide(b *strings.Builder, refs []ids.RefID, entries map[ids.RefID]Entry, source bool) {
+func (a Alg) writeSide(b *strings.Builder, refs []ids.RefID, source bool) {
 	for i, r := range refs {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		e := entries[r]
+		e, _ := a.Get(r)
 		ic := e.TgtIC
 		if source {
 			ic = e.SrcIC

@@ -130,7 +130,7 @@ func TestEqualAndClone(t *testing.T) {
 	}
 	// Same refs, different IC: not equal.
 	c := a.Clone()
-	c.Entries[ref("P1", "P2", 1)] = Entry{InSource: true, SrcIC: 99}
+	c.Set(ref("P1", "P2", 1), Entry{InSource: true, SrcIC: 99})
 	if a.Equal(c) {
 		t.Fatal("different IC still equal")
 	}
@@ -229,7 +229,7 @@ func TestCloneIndependenceProperty(t *testing.T) {
 		}
 		b := a.Clone()
 		b.AddTarget(ref("P9", "P8", 99), 1)
-		if _, ok := a.Entries[ref("P9", "P8", 99)]; ok {
+		if _, ok := a.Get(ref("P9", "P8", 99)); ok {
 			return false // leaked into original
 		}
 		return a.Equal(a.Clone())

@@ -48,10 +48,12 @@ const DefaultMaxHops = 256
 // Actions is the detector's outbound interface, implemented by the node: it
 // decouples the algorithm from transport and tables.
 type Actions interface {
-	// SendCDM forwards a CDM derivation along the stub `along`
-	// (along.Src is the local node, along.Dst the remote object). hops is
-	// the derivation's forwarding depth, carried in the message.
-	SendCDM(det DetectionID, along ids.RefID, alg Alg, hops int)
+	// SendCDMs forwards a CDM derivation along each of the stubs in
+	// `alongs` (along.Src is the local node, along.Dst the remote object).
+	// hops is the derivation's forwarding depth, carried in every message.
+	// Handing the whole fan-out to the implementation at once lets it
+	// flatten the algebra a single time and share the result across peers.
+	SendCDMs(det DetectionID, alongs []ids.RefID, alg Alg, hops int)
 	// DeleteOwnScion removes the local scion for ref (ref.Dst.Node is the
 	// local node) and must trigger acyclic-DGC reclamation.
 	DeleteOwnScion(ref ids.RefID)
@@ -186,18 +188,18 @@ func (d *Detector) HandleCDM(sum *snapshot.Summary, det DetectionID, along ids.R
 	// Arrival guard (safety rule 3): the sender recorded its stub-side
 	// counter for `along`; our scion-side counter must agree, otherwise an
 	// invocation crossed this reference between the two snapshots.
-	if e, ok := alg.Entries[along]; ok && e.InTarget && e.TgtIC != sc.IC {
+	if e, ok := alg.Get(along); ok && e.InTarget && e.TgtIC != sc.IC {
 		d.Stats.Aborted++
 		return Outcome{Kind: OutcomeAborted}
 	}
 
 	// CDM matching at delivery (§3 steps 6, 13, 19, 25...).
-	m := alg.Match()
-	if m.Abort {
+	cycleFound, abort := alg.MatchStatus()
+	if abort {
 		d.Stats.Aborted++
 		return Outcome{Kind: OutcomeAborted}
 	}
-	if m.CycleFound {
+	if cycleFound {
 		return d.cycleFound(det, alg)
 	}
 
@@ -293,7 +295,7 @@ func (d *Detector) expand(sum *snapshot.Summary, det DetectionID, sc *snapshot.S
 	}
 	if d.cfg.EagerAbort {
 		// §3.2 optimization: analyze unmatched counters before sending.
-		if m := derived.Match(); m.Abort {
+		if _, abort := derived.MatchStatus(); abort {
 			d.Stats.Aborted++
 			return Outcome{Kind: OutcomeAborted}
 		}
@@ -309,9 +311,11 @@ func (d *Detector) expand(sum *snapshot.Summary, det DetectionID, sc *snapshot.S
 	if d.cfg.MaxAlgebraSize > 0 && derived.Len() > d.cfg.MaxAlgebraSize {
 		return Outcome{Kind: OutcomeBranchEnded}
 	}
-	for _, tgt := range eligible {
-		d.actions.SendCDM(det, ids.RefID{Src: d.self, Dst: tgt}, derived, hops+1)
-		d.Stats.CDMsSent++
+	alongs := make([]ids.RefID, len(eligible))
+	for i, tgt := range eligible {
+		alongs[i] = ids.RefID{Src: d.self, Dst: tgt}
 	}
+	d.actions.SendCDMs(det, alongs, derived, hops+1)
+	d.Stats.CDMsSent += uint64(len(eligible))
 	return Outcome{Kind: OutcomeForwarded, Forwarded: len(eligible), Derived: &derived}
 }

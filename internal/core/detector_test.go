@@ -42,8 +42,10 @@ type simActions struct {
 	self ids.NodeID
 }
 
-func (a simActions) SendCDM(det DetectionID, along ids.RefID, alg Alg, hops int) {
-	a.s.queue = append(a.s.queue, cdmEnv{det: det, along: along, alg: alg.Clone(), hops: hops})
+func (a simActions) SendCDMs(det DetectionID, alongs []ids.RefID, alg Alg, hops int) {
+	for _, along := range alongs {
+		a.s.queue = append(a.s.queue, cdmEnv{det: det, along: along, alg: alg.Clone(), hops: hops})
+	}
 }
 
 func (a simActions) DeleteOwnScion(ref ids.RefID) {

@@ -38,9 +38,10 @@ func TestFingerprintEqualityProperty(t *testing.T) {
 			e   Entry
 		}
 		var entries []entry
-		for r, e := range a.Entries {
+		a.Each(func(r ids.RefID, e Entry) bool {
 			entries = append(entries, entry{r, e})
-		}
+			return true
+		})
 		rng.Shuffle(len(entries), func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
 		b := NewAlg()
 		for _, en := range entries {
@@ -73,11 +74,11 @@ func TestFingerprintSensitivity(t *testing.T) {
 	fp := base.Fingerprint()
 
 	variants := []func(Alg){
-		func(a Alg) { a.Entries[r1] = Entry{InSource: true, SrcIC: 4} },                           // IC change
-		func(a Alg) { a.AddTarget(r1, 3) },                                                        // extra bit
-		func(a Alg) { delete(a.Entries, r2) },                                                     // entry removed
-		func(a Alg) { a.AddSource(ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P2"}}, 0) },      // entry added
-		func(a Alg) { a.Entries[r2] = Entry{InSource: true, TgtIC: 5, SrcIC: 0, InTarget: true} }, // bit flip
+		func(a Alg) { a.Set(r1, Entry{InSource: true, SrcIC: 4}) },                           // IC change
+		func(a Alg) { a.AddTarget(r1, 3) },                                                   // extra bit
+		func(a Alg) { a.Delete(r2) },                                                         // entry removed
+		func(a Alg) { a.AddSource(ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P2"}}, 0) }, // entry added
+		func(a Alg) { a.Set(r2, Entry{InSource: true, TgtIC: 5, SrcIC: 0, InTarget: true}) }, // bit flip
 	}
 	for i, mutate := range variants {
 		v := base.Clone()

@@ -1,0 +1,99 @@
+package ids
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// internChunkSize is the number of RefIDs per storage chunk. Chunked storage
+// lets readers resolve ids without locks: a chunk's slots are written before
+// the id is published, and the spine (the slice of chunk pointers) is
+// replaced copy-on-write, so a published id always points at initialized
+// memory.
+const internChunkSize = 1024
+
+type internChunk [internChunkSize]RefID
+
+// Interner assigns small dense integers to reference identifiers. The CDM
+// algebra keys every entry by a RefID — two strings and an integer — and the
+// detection hot path clones, merges and matches algebras constantly; hashing
+// and copying the string-bearing keys dominated those operations. Interning
+// maps each distinct RefID to an int32 once, so the algebra can store dense
+// entries, compare keys with integer comparisons and clone with memcpy.
+//
+// Identifiers are never released: the table grows monotonically with the set
+// of distinct inter-process references a process has seen, which is bounded
+// by the reference-listing tables it already keeps. Interned ids are a
+// process-local compression and MUST never appear on the wire — peers'
+// tables assign different ids to the same reference.
+//
+// All methods are safe for concurrent use. Reads (Lookup, Ref, Len and the
+// Intern fast path) are lock-free: the id index is a sync.Map and reverse
+// storage is reached through an atomic spine pointer. Only first sight of a
+// reference takes the write lock.
+type Interner struct {
+	mu    sync.Mutex  // serializes id assignment
+	idx   sync.Map    // RefID -> int32
+	spine atomic.Pointer[[]*internChunk]
+	n     atomic.Int32 // published length; slots < n are immutable
+}
+
+// NewInterner returns an empty table.
+func NewInterner() *Interner {
+	t := &Interner{}
+	t.spine.Store(&[]*internChunk{})
+	return t
+}
+
+// Intern returns the dense id for r, assigning the next free one on first
+// sight.
+func (t *Interner) Intern(r RefID) int32 {
+	if id, ok := t.idx.Load(r); ok {
+		return id.(int32)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.idx.Load(r); ok {
+		return id.(int32)
+	}
+	id := t.n.Load()
+	spine := *t.spine.Load()
+	if int(id) == len(spine)*internChunkSize {
+		grown := make([]*internChunk, len(spine), len(spine)+1)
+		copy(grown, spine)
+		grown = append(grown, new(internChunk))
+		t.spine.Store(&grown)
+		spine = grown
+	}
+	// Fill the slot before publishing the id: the sync.Map store (and the
+	// caller's own synchronization when it hands entries to other
+	// goroutines) orders this write before any Ref(id) read.
+	spine[int(id)/internChunkSize][int(id)%internChunkSize] = r
+	t.idx.Store(r, id)
+	t.n.Store(id + 1)
+	return id
+}
+
+// Lookup returns the dense id for r without assigning one. ok is false when
+// r has never been interned.
+func (t *Interner) Lookup(r RefID) (int32, bool) {
+	if id, ok := t.idx.Load(r); ok {
+		return id.(int32), true
+	}
+	return 0, false
+}
+
+// Ref returns the RefID for a dense id previously returned by Intern.
+// Panics on ids never assigned, like an out-of-range slice index.
+func (t *Interner) Ref(id int32) RefID {
+	if id < 0 || id >= t.n.Load() {
+		panic("ids: Ref of unassigned intern id")
+	}
+	spine := *t.spine.Load()
+	return spine[int(id)/internChunkSize][int(id)%internChunkSize]
+}
+
+// Len returns the number of distinct references interned so far.
+func (t *Interner) Len() int {
+	return int(t.n.Load())
+}

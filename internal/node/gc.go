@@ -20,19 +20,21 @@ import (
 // LGC, then snapshot/summarize, then detection — matching the data flow
 // (detection consumes summaries, summaries consume post-LGC tables).
 func (n *Node) Tick() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.clock++
-	n.expireCallsLocked()
-	if n.cfg.LGCEvery > 0 && n.clock%n.cfg.LGCEvery == 0 {
-		n.runLGCLocked()
-	}
-	if n.cfg.SnapshotEvery > 0 && n.clock%n.cfg.SnapshotEvery == 0 {
-		n.summarizeLocked()
-	}
-	if n.cfg.DetectEvery > 0 && n.clock%n.cfg.DetectEvery == 0 {
-		n.runDetectionLocked()
-	}
+	n.withStage(func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.clock++
+		n.expireCallsLocked()
+		if n.cfg.LGCEvery > 0 && n.clock%n.cfg.LGCEvery == 0 {
+			n.runLGCLocked()
+		}
+		if n.cfg.SnapshotEvery > 0 && n.clock%n.cfg.SnapshotEvery == 0 {
+			n.summarizeLocked()
+		}
+		if n.cfg.DetectEvery > 0 && n.clock%n.cfg.DetectEvery == 0 {
+			n.runDetectionLocked()
+		}
+	})
 }
 
 // Clock returns the node's logical time.
@@ -59,9 +61,13 @@ func (n *Node) expireCallsLocked() {
 
 // RunLGC performs one local collection and emits NewSetStubs messages.
 func (n *Node) RunLGC() lgc.Result {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.runLGCLocked()
+	var res lgc.Result
+	n.withStage(func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		res = n.runLGCLocked()
+	})
+	return res
 }
 
 func (n *Node) runLGCLocked() lgc.Result {
@@ -142,9 +148,13 @@ func (n *Node) summarizeLocked() error {
 // starts detections, up to Config.MaxDetectionsPerRound. It returns the
 // number started.
 func (n *Node) RunDetection() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.runDetectionLocked()
+	var started int
+	n.withStage(func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		started = n.runDetectionLocked()
+	})
+	return started
 }
 
 func (n *Node) runDetectionLocked() int {
@@ -191,10 +201,14 @@ func (n *Node) Summary() *snapshot.Summary {
 // detector, which only runs under the node lock.
 type detectorActions Node
 
-// SendCDM implements core.Actions.
-func (a *detectorActions) SendCDM(det core.DetectionID, along ids.RefID, alg core.Alg, hops int) {
+// SendCDMs implements core.Actions. The derivation is shared, unflattened,
+// by every outgoing message of the fan-out: in-process receivers merge it
+// directly and the codec flattens lazily if a message reaches a real socket.
+func (a *detectorActions) SendCDMs(det core.DetectionID, alongs []ids.RefID, alg core.Alg, hops int) {
 	n := (*Node)(a)
-	n.send(along.Dst.Node, wire.NewCDM(det, along, alg, hops))
+	for _, along := range alongs {
+		n.send(along.Dst.Node, wire.NewCDMFromAlg(det, along, alg, hops))
+	}
 }
 
 // DeleteOwnScion implements core.Actions: the detector proved the scion

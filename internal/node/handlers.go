@@ -9,8 +9,14 @@ import (
 
 // HandleMessage is the transport delivery entry point. It dispatches every
 // protocol message under the node lock; unknown messages are ignored
-// (datagram semantics).
+// (datagram semantics). Sends triggered by the handler (CDM fan-out,
+// acks, replies) are staged and flushed as a batch when the transport
+// supports it.
 func (n *Node) HandleMessage(from ids.NodeID, msg wire.Message) {
+	n.withStage(func() { n.dispatchMessage(from, msg) })
+}
+
+func (n *Node) dispatchMessage(from ids.NodeID, msg wire.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 
@@ -62,7 +68,7 @@ func (n *Node) handleCDM(m *wire.CDM) {
 		acc = &detAcc{alg: core.NewAlg(), alongs: make(map[ids.RefID]struct{})}
 		n.cdmAcc[m.Det] = acc
 	}
-	changed, conflict := acc.alg.Merge(m.Alg())
+	changed, conflict := m.MergeAlgInto(acc.alg)
 	if conflict {
 		n.stats.CDMsRaceDropped++
 		delete(n.cdmAcc, m.Det)
@@ -70,7 +76,11 @@ func (n *Node) handleCDM(m *wire.CDM) {
 		return
 	}
 	_, knownAlong := acc.alongs[m.Along]
-	acc.alongs[m.Along] = struct{}{}
+	if !knownAlong {
+		acc.alongs[m.Along] = struct{}{}
+		acc.alongsSorted = append(acc.alongsSorted, m.Along)
+		ids.SortRefIDs(acc.alongsSorted)
+	}
 	if !changed && knownAlong {
 		n.stats.CDMsDeduped++
 		return
@@ -80,12 +90,7 @@ func (n *Node) handleCDM(m *wire.CDM) {
 	// along: information that arrived via one scion must also flow out
 	// through the stubs reachable from the others, or converging paths
 	// would starve each other of the closure they jointly build.
-	alongs := make([]ids.RefID, 0, len(acc.alongs))
-	for a := range acc.alongs {
-		alongs = append(alongs, a)
-	}
-	ids.SortRefIDs(alongs)
-	for _, along := range alongs {
+	for _, along := range acc.alongsSorted {
 		out := n.detector.HandleCDM(n.summary, m.Det, along, acc.alg, int(m.Hops))
 		if n.cfg.Trace != nil {
 			n.emit(trace.KindCDMHandled, "det=%s/%d along=%s outcome=%s entries=%d",

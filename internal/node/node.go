@@ -160,6 +160,9 @@ type Node struct {
 type detAcc struct {
 	alg    core.Alg
 	alongs map[ids.RefID]struct{} // scions this detection arrived along
+	// alongsSorted caches the alongs set in canonical order; maintained
+	// incrementally so each delivery iterates without rebuilding it.
+	alongsSorted []ids.RefID
 }
 
 // cdmAccCap bounds the per-detection accumulator cache; overflowing flushes
@@ -340,6 +343,22 @@ func (n *Node) pinnedRefs() []ids.GlobalRef {
 	}
 	ids.SortGlobalRefs(out)
 	return out
+}
+
+// withStage runs fn with the endpoint's send staging bracketed around it,
+// when the endpoint supports staging (the TCP transport: a burst of sends —
+// a GC tick's CDMs, a CDM fan-out — then goes out as one batch frame per
+// peer). The inproc endpoint deliberately does not implement Stager; its
+// staging belongs to the cluster scheduler, which brackets whole phases on
+// the Network itself. fn must take the node lock itself: staged flushing
+// happens after fn returns, outside the lock, so handlers running in the
+// flush path can re-enter the node.
+func (n *Node) withStage(fn func()) {
+	if st, ok := n.ep.(transport.Stager); ok {
+		st.BeginStage()
+		defer st.FlushStage(nil)
+	}
+	fn()
 }
 
 func (n *Node) send(to ids.NodeID, msg wire.Message) {

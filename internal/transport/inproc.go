@@ -228,7 +228,7 @@ func (n *Network) send(from, to ids.NodeID, msg wire.Message) error {
 // queue. Caller holds mu.
 func (n *Network) sendLocked(from, to ids.NodeID, msg wire.Message) {
 	n.sent[msg.Kind()]++
-	n.bytes += uint64(len(wire.Encode(msg)))
+	n.bytes += uint64(wire.EncodedSize(msg))
 
 	if n.faults.affects(msg.Kind()) {
 		if n.faults.LossRate > 0 && n.rng.Float64() < n.faults.LossRate {

@@ -1,12 +1,15 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"dgc/internal/ids"
 	"dgc/internal/wire"
@@ -16,24 +19,78 @@ import (
 // protocol messages stay small.
 const maxFrame = 16 << 20
 
+// batchChunk bounds the encoded size of one staged batch: a GC round's
+// traffic to one peer is split into frames of roughly this size, keeping
+// per-frame memory and receiver latency bounded while still amortizing the
+// syscall and framing cost over many messages.
+const batchChunk = 256 << 10
+
+// Dial backoff tuning: after a failed dial the peer is quarantined for
+// dialBackoffBase doubling per consecutive failure up to dialBackoffMax,
+// with ±50% jitter so a partitioned cluster does not thundering-herd one
+// recovering process. Sends during the quarantine fail fast instead of
+// re-dialing — a dead peer costs one connect attempt per backoff window,
+// not one per CDM.
+const (
+	dialBackoffBase = 5 * time.Millisecond
+	dialBackoffMax  = 2 * time.Second
+)
+
+// peerConn is an established outbound connection with its buffered writer.
+// The bufio layer coalesces the 4-byte header, envelope and body writes of a
+// frame (and, in staged mode, whole frame runs) into single syscalls.
+type peerConn struct {
+	c  net.Conn
+	bw *bufio.Writer
+}
+
+// dialState tracks reconnect backoff for one peer.
+type dialState struct {
+	failures int
+	until    time.Time // quarantine deadline; zero when healthy
+}
+
+// framePool recycles frame build buffers across sends.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
 // TCPEndpoint is a real-socket endpoint: it listens for inbound frames and
 // dials peers on demand. Frames are 4-byte big-endian length prefixed wire
 // envelopes: sender name followed by the encoded message.
+//
+// TCPEndpoint implements Stager: between BeginStage and FlushStage, sends
+// are collected per destination and shipped as one wire.Batch frame per
+// peer (chunked at batchChunk), so a GC round costs one syscall per peer
+// instead of one per CDM.
 type TCPEndpoint struct {
 	self ids.NodeID
 
 	mu       sync.Mutex
 	h        Handler
 	peers    map[ids.NodeID]string // node -> dial address
-	conns    map[ids.NodeID]net.Conn
-	accepted []net.Conn // inbound connections, closed on Close
+	conns    map[ids.NodeID]*peerConn
+	dialing  map[ids.NodeID]*dialState
+	accepted map[net.Conn]struct{} // inbound connections, closed on Close
 	ln       net.Listener
 	closed   bool
-	writeMu  sync.Mutex // serializes frame writes per endpoint
-	wg       sync.WaitGroup
+
+	writeMu sync.Mutex // serializes frame writes per endpoint
+
+	stageMu    sync.Mutex
+	stageDepth int
+	staged     map[ids.NodeID][]wire.Message
+
+	wg sync.WaitGroup
 }
 
-var _ Endpoint = (*TCPEndpoint)(nil)
+var (
+	_ Endpoint = (*TCPEndpoint)(nil)
+	_ Stager   = (*TCPEndpoint)(nil)
+)
 
 // ListenTCP starts an endpoint for node self on addr ("host:port", use port
 // 0 for ephemeral). peers maps the other nodes' names to their dial
@@ -44,10 +101,13 @@ func ListenTCP(self ids.NodeID, addr string, peers map[ids.NodeID]string) (*TCPE
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	e := &TCPEndpoint{
-		self:  self,
-		peers: make(map[ids.NodeID]string, len(peers)),
-		conns: make(map[ids.NodeID]net.Conn),
-		ln:    ln,
+		self:     self,
+		peers:    make(map[ids.NodeID]string, len(peers)),
+		conns:    make(map[ids.NodeID]*peerConn),
+		dialing:  make(map[ids.NodeID]*dialState),
+		accepted: make(map[net.Conn]struct{}),
+		staged:   make(map[ids.NodeID][]wire.Message),
+		ln:       ln,
 	}
 	for n, a := range peers {
 		e.peers[n] = a
@@ -60,11 +120,13 @@ func ListenTCP(self ids.NodeID, addr string, peers map[ids.NodeID]string) (*TCPE
 // Addr returns the endpoint's listening address (useful with port 0).
 func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
 
-// AddPeer registers or updates a peer's dial address.
+// AddPeer registers or updates a peer's dial address and clears any dial
+// backoff (the address change is fresh information).
 func (e *TCPEndpoint) AddPeer(node ids.NodeID, addr string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.peers[node] = addr
+	delete(e.dialing, node)
 }
 
 // Self implements Endpoint.
@@ -77,14 +139,38 @@ func (e *TCPEndpoint) SetHandler(h Handler) {
 	e.h = h
 }
 
-// Send implements Endpoint. A failed write tears down the cached connection
-// and retries once with a fresh dial; a second failure is returned (and may
-// be treated as message loss by callers).
+// Send implements Endpoint. In staged mode the message is queued for the
+// destination and shipped at FlushStage. Otherwise a failed write tears down
+// the cached connection and retries once with a fresh dial; a second failure
+// is returned (and may be treated as message loss by callers).
 func (e *TCPEndpoint) Send(to ids.NodeID, msg wire.Message) error {
-	frame, err := e.buildFrame(msg)
+	if msg == nil {
+		return errors.New("transport: nil message")
+	}
+	e.stageMu.Lock()
+	if e.stageDepth > 0 {
+		e.staged[to] = append(e.staged[to], msg)
+		e.stageMu.Unlock()
+		return nil
+	}
+	e.stageMu.Unlock()
+	return e.sendNow(to, msg)
+}
+
+func (e *TCPEndpoint) sendNow(to ids.NodeID, msg wire.Message) error {
+	bp := framePool.Get().(*[]byte)
+	frame, err := e.buildFrame((*bp)[:0], msg)
 	if err != nil {
+		framePool.Put(bp)
 		return err
 	}
+	err = e.writeFrameRetry(to, frame)
+	*bp = frame[:0]
+	framePool.Put(bp)
+	return err
+}
+
+func (e *TCPEndpoint) writeFrameRetry(to ids.NodeID, frame []byte) error {
 	if err := e.writeFrame(to, frame); err != nil {
 		e.dropConn(to)
 		return e.writeFrame(to, frame)
@@ -92,69 +178,178 @@ func (e *TCPEndpoint) Send(to ids.NodeID, msg wire.Message) error {
 	return nil
 }
 
-func (e *TCPEndpoint) buildFrame(msg wire.Message) ([]byte, error) {
-	if msg == nil {
-		return nil, errors.New("transport: nil message")
+// buildFrame appends the framed encoding of msg to buf: 4-byte big-endian
+// payload length, sender name, encoded message.
+func (e *TCPEndpoint) buildFrame(buf []byte, msg wire.Message) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = appendLenString(buf, string(e.self))
+	buf = wire.AppendEncode(buf, msg)
+	payload := len(buf) - start - 4
+	if payload > maxFrame {
+		return buf[:start], fmt.Errorf("transport: frame too large (%d bytes)", payload)
 	}
-	var payload []byte
-	payload = appendLenString(payload, string(e.self))
-	payload = append(payload, wire.Encode(msg)...)
-	if len(payload) > maxFrame {
-		return nil, fmt.Errorf("transport: frame too large (%d bytes)", len(payload))
-	}
-	frame := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[4:], payload)
-	return frame, nil
+	binary.BigEndian.PutUint32(buf[start:], uint32(payload))
+	return buf, nil
 }
 
+// writeFrame writes one pre-built frame to the peer's buffered connection
+// and flushes. The flush error (not just the buffered-write error) is
+// returned so callers see connection failures synchronously and can redial.
 func (e *TCPEndpoint) writeFrame(to ids.NodeID, frame []byte) error {
-	conn, err := e.connTo(to)
+	pc, err := e.connTo(to)
 	if err != nil {
 		return err
 	}
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
-	_, err = conn.Write(frame)
-	return err
+	if _, err := pc.bw.Write(frame); err != nil {
+		return err
+	}
+	return pc.bw.Flush()
 }
 
-func (e *TCPEndpoint) connTo(to ids.NodeID) (net.Conn, error) {
+// BeginStage implements Stager: subsequent sends are collected instead of
+// written. Nestable; only the matching outermost FlushStage ships.
+func (e *TCPEndpoint) BeginStage() {
+	e.stageMu.Lock()
+	e.stageDepth++
+	e.stageMu.Unlock()
+}
+
+// FlushStage implements Stager: ships everything staged since BeginStage,
+// one batch frame per destination (chunked at batchChunk). Peers listed in
+// order are flushed first, in that order; stragglers follow. Write failures
+// follow Send semantics: one redial retry, then the traffic to that peer is
+// dropped (the protocol stack tolerates loss).
+func (e *TCPEndpoint) FlushStage(order []ids.NodeID) {
+	e.stageMu.Lock()
+	if e.stageDepth == 0 {
+		e.stageMu.Unlock()
+		panic("transport: FlushStage without BeginStage")
+	}
+	e.stageDepth--
+	if e.stageDepth > 0 {
+		e.stageMu.Unlock()
+		return
+	}
+	staged := e.staged
+	e.staged = make(map[ids.NodeID][]wire.Message)
+	e.stageMu.Unlock()
+
+	flushed := make(map[ids.NodeID]bool, len(staged))
+	for _, to := range order {
+		if msgs, ok := staged[to]; ok && !flushed[to] {
+			flushed[to] = true
+			e.sendStaged(to, msgs)
+		}
+	}
+	// Stragglers not named in order (deterministic enough for tests via the
+	// caller's order; remaining peers have no ordering contract).
+	for to, msgs := range staged {
+		if !flushed[to] {
+			e.sendStaged(to, msgs)
+		}
+	}
+}
+
+// sendStaged ships one peer's staged messages as batch frames of bounded
+// size. A single message skips the batch wrapper entirely.
+func (e *TCPEndpoint) sendStaged(to ids.NodeID, msgs []wire.Message) {
+	for len(msgs) > 0 {
+		n, size := 1, wire.EncodedSize(msgs[0])
+		for n < len(msgs) && size < batchChunk {
+			size += wire.EncodedSize(msgs[n])
+			n++
+		}
+		var err error
+		if n == 1 {
+			err = e.sendNow(to, msgs[0])
+		} else {
+			err = e.sendNow(to, &wire.Batch{Msgs: msgs[:n]})
+		}
+		_ = err // best-effort: loss is tolerated, backoff curbs retries
+		msgs = msgs[n:]
+	}
+}
+
+// connTo returns the cached connection to the peer, dialing if needed.
+// While the peer is in dial backoff, it fails fast without touching the
+// network.
+func (e *TCPEndpoint) connTo(to ids.NodeID) (*peerConn, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, errors.New("transport: endpoint closed")
 	}
-	if c, ok := e.conns[to]; ok {
+	if pc, ok := e.conns[to]; ok {
 		e.mu.Unlock()
-		return c, nil
+		return pc, nil
 	}
 	addr, ok := e.peers[to]
-	e.mu.Unlock()
 	if !ok {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("transport: unknown peer %s", to)
 	}
+	if ds := e.dialing[to]; ds != nil && time.Now().Before(ds.until) {
+		until := ds.until
+		e.mu.Unlock()
+		return nil, fmt.Errorf("transport: peer %s in dial backoff for %v", to, time.Until(until).Round(time.Millisecond))
+	}
+	e.mu.Unlock()
+
 	c, err := net.Dial("tcp", addr)
+
+	e.mu.Lock()
 	if err != nil {
+		ds := e.dialing[to]
+		if ds == nil {
+			ds = &dialState{}
+			e.dialing[to] = ds
+		}
+		ds.failures++
+		ds.until = time.Now().Add(backoffDelay(ds.failures))
+		e.mu.Unlock()
 		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
 	}
-	e.mu.Lock()
+	delete(e.dialing, to)
+	if e.closed {
+		e.mu.Unlock()
+		c.Close()
+		return nil, errors.New("transport: endpoint closed")
+	}
 	if prev, ok := e.conns[to]; ok {
 		// Lost a race with another Send; keep the first connection.
 		e.mu.Unlock()
 		c.Close()
 		return prev, nil
 	}
-	e.conns[to] = c
+	pc := &peerConn{c: c, bw: bufio.NewWriterSize(c, 64<<10)}
+	e.conns[to] = pc
 	e.mu.Unlock()
-	return c, nil
+	return pc, nil
+}
+
+// backoffDelay returns the quarantine for the n-th consecutive dial failure:
+// exponential from dialBackoffBase, capped at dialBackoffMax, jittered to
+// 50–100% of the nominal value.
+func backoffDelay(failures int) time.Duration {
+	d := dialBackoffBase
+	for i := 1; i < failures && d < dialBackoffMax; i++ {
+		d *= 2
+	}
+	if d > dialBackoffMax {
+		d = dialBackoffMax
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
 }
 
 func (e *TCPEndpoint) dropConn(to ids.NodeID) {
 	e.mu.Lock()
-	if c, ok := e.conns[to]; ok {
+	if pc, ok := e.conns[to]; ok {
 		delete(e.conns, to)
-		c.Close()
+		pc.c.Close()
 	}
 	e.mu.Unlock()
 }
@@ -172,7 +367,7 @@ func (e *TCPEndpoint) acceptLoop() {
 			conn.Close()
 			return
 		}
-		e.accepted = append(e.accepted, conn)
+		e.accepted[conn] = struct{}{}
 		e.mu.Unlock()
 		e.wg.Add(1)
 		go e.readLoop(conn)
@@ -181,10 +376,16 @@ func (e *TCPEndpoint) acceptLoop() {
 
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.accepted, conn)
+		e.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
 	hdr := make([]byte, 4)
 	for {
-		if _, err := io.ReadFull(conn, hdr); err != nil {
+		if _, err := io.ReadFull(br, hdr); err != nil {
 			return
 		}
 		n := binary.BigEndian.Uint32(hdr)
@@ -192,7 +393,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 			return // protocol violation; drop the connection
 		}
 		payload := make([]byte, n)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
 		from, rest, ok := readLenString(payload)
@@ -206,13 +407,24 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		e.mu.Lock()
 		h := e.h
 		e.mu.Unlock()
-		if h != nil {
-			h(ids.NodeID(from), msg)
+		if h == nil {
+			continue
 		}
+		// Batches are a framing construct: unpack and deliver individually,
+		// preserving order. Nested batches are rejected by the decoder.
+		if b, ok := msg.(*wire.Batch); ok {
+			for _, sub := range b.Msgs {
+				h(ids.NodeID(from), sub)
+			}
+			continue
+		}
+		h(ids.NodeID(from), msg)
 	}
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint: it stops the listener, closes every outbound
+// and inbound connection, and joins the accept and read goroutines so no
+// readLoop outlives the endpoint.
 func (e *TCPEndpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -222,12 +434,13 @@ func (e *TCPEndpoint) Close() error {
 	e.closed = true
 	e.h = nil
 	conns := make([]net.Conn, 0, len(e.conns)+len(e.accepted))
-	for _, c := range e.conns {
+	for _, pc := range e.conns {
+		conns = append(conns, pc.c)
+	}
+	for c := range e.accepted {
 		conns = append(conns, c)
 	}
-	conns = append(conns, e.accepted...)
-	e.conns = map[ids.NodeID]net.Conn{}
-	e.accepted = nil
+	e.conns = map[ids.NodeID]*peerConn{}
 	e.mu.Unlock()
 
 	err := e.ln.Close()

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -226,4 +228,176 @@ func TestTCPConcurrentSenders(t *testing.T) {
 	}
 	wg.Wait()
 	cb.waitFor(t, per*workers, 5*time.Second)
+}
+
+func TestTCPStagedBatchDelivery(t *testing.T) {
+	a, _, _, cb := newTCPPair(t)
+	a.BeginStage()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := a.Send("B", &wire.HughesThreshold{Threshold: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing may hit the wire while staged.
+	time.Sleep(20 * time.Millisecond)
+	cb.mu.Lock()
+	early := len(cb.msgs)
+	cb.mu.Unlock()
+	if early != 0 {
+		t.Fatalf("%d messages delivered before FlushStage", early)
+	}
+	a.FlushStage([]ids.NodeID{"B"})
+	msgs := cb.waitFor(t, n, 5*time.Second)
+	for i, m := range msgs {
+		if m.(*wire.HughesThreshold).Threshold != uint64(i) {
+			t.Fatalf("out of order at %d: %v", i, m)
+		}
+	}
+}
+
+func TestTCPStagedNesting(t *testing.T) {
+	a, _, _, cb := newTCPPair(t)
+	a.BeginStage()
+	a.BeginStage()
+	if err := a.Send("B", &wire.HughesThreshold{Threshold: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a.FlushStage(nil) // inner: must NOT ship yet
+	time.Sleep(20 * time.Millisecond)
+	cb.mu.Lock()
+	early := len(cb.msgs)
+	cb.mu.Unlock()
+	if early != 0 {
+		t.Fatal("inner FlushStage shipped messages")
+	}
+	a.FlushStage(nil) // outer: ships
+	cb.waitFor(t, 1, 2*time.Second)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced FlushStage did not panic")
+		}
+	}()
+	a.FlushStage(nil)
+}
+
+func TestTCPStagedMixedPeers(t *testing.T) {
+	// Three endpoints; A stages traffic to both B and C and flushes in order.
+	a, b, _, cb := newTCPPair(t)
+	_ = b
+	c, err := ListenTCP("C", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a.AddPeer("C", c.Addr())
+	cc := newCollector()
+	c.SetHandler(cc.handler)
+
+	a.BeginStage()
+	for i := 0; i < 5; i++ {
+		if err := a.Send("B", &wire.HughesThreshold{Threshold: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send("C", &wire.HughesThreshold{Threshold: uint64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.FlushStage([]ids.NodeID{"C"}) // B is a straggler, still flushed
+	got := cb.waitFor(t, 5, 5*time.Second)
+	for i, m := range got {
+		if m.(*wire.HughesThreshold).Threshold != uint64(i) {
+			t.Fatalf("B out of order at %d", i)
+		}
+	}
+	gotC := cc.waitFor(t, 5, 5*time.Second)
+	for i, m := range gotC {
+		if m.(*wire.HughesThreshold).Threshold != uint64(100+i) {
+			t.Fatalf("C out of order at %d", i)
+		}
+	}
+}
+
+func TestTCPDialBackoffFailsFast(t *testing.T) {
+	a, err := ListenTCP("A", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Reserve an address with nothing listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	a.AddPeer("B", dead)
+
+	if err := a.Send("B", &wire.HughesThreshold{}); err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+	// Within the quarantine window, sends must fail fast without dialing.
+	start := time.Now()
+	if err := a.Send("B", &wire.HughesThreshold{}); err == nil {
+		t.Fatal("send during backoff succeeded")
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("backoff send took %v; expected fail-fast", d)
+	}
+	// AddPeer clears the backoff so a fresh address is tried immediately.
+	b, err := ListenTCP("B", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cb := newCollector()
+	b.SetHandler(cb.handler)
+	a.AddPeer("B", b.Addr())
+	if err := a.Send("B", &wire.HughesThreshold{Threshold: 9}); err != nil {
+		t.Fatal(err)
+	}
+	cb.waitFor(t, 1, 2*time.Second)
+}
+
+func TestTCPCloseJoinsReadLoops(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		a, b, _, cb := func(t *testing.T) (*TCPEndpoint, *TCPEndpoint, *collector, *collector) {
+			a, err := ListenTCP("A", "127.0.0.1:0", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ListenTCP("B", "127.0.0.1:0", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.AddPeer("B", b.Addr())
+			b.AddPeer("A", a.Addr())
+			ca, cb := newCollector(), newCollector()
+			a.SetHandler(ca.handler)
+			b.SetHandler(cb.handler)
+			return a, b, ca, cb
+		}(t)
+		if err := a.Send("B", &wire.HughesThreshold{Threshold: 1}); err != nil {
+			t.Fatal(err)
+		}
+		cb.waitFor(t, 1, 2*time.Second)
+		// Close must join the accept loop and every readLoop.
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow the runtime to settle, then verify no goroutine pile-up.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
 }

@@ -23,6 +23,18 @@ import (
 // inproc, a connection-reader goroutine for TCP).
 type Handler func(from ids.NodeID, msg wire.Message)
 
+// Stager is implemented by transports that can coalesce a burst of sends:
+// between BeginStage and the matching FlushStage, messages are collected and
+// shipped together (the inproc Network replays them deterministically; the
+// TCP endpoint packs them into batch frames). order gives the destinations
+// to flush first, for deterministic replay. Layers that produce send bursts
+// (a node's GC tick, a cluster phase) type-assert their transport against
+// Stager and bracket the burst when it is available.
+type Stager interface {
+	BeginStage()
+	FlushStage(order []ids.NodeID)
+}
+
 // Endpoint is one node's attachment to a transport.
 type Endpoint interface {
 	// Self returns the node this endpoint belongs to.

@@ -3,6 +3,8 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dgc/internal/ids"
 )
@@ -127,7 +129,59 @@ func (r *reader) string() string {
 	return s
 }
 
-func (r *reader) node() ids.NodeID { return ids.NodeID(r.string()) }
+// nodeIntern caches decoded NodeID strings. Node names recur constantly — a
+// CDM with n entries carries 2n+3 of them from a handful of distinct values —
+// and the map lookup keyed by string(bytes) does not allocate on a hit, so
+// interning removes the dominant share of decode allocations. Reads go
+// through an atomic pointer to an immutable map (copy-on-write on insert —
+// distinct node names are few, so full copies are rare), making the hit path
+// lock-free: no read-lock RMW per decoded name. The cache is capped; past the
+// cap, unseen names fall through to a plain allocation (correct, just
+// slower), which keeps a hostile peer from growing it without bound.
+var nodeIntern struct {
+	mu sync.Mutex // serializes inserts
+	m  atomic.Pointer[map[string]ids.NodeID]
+}
+
+const nodeInternCap = 4096
+
+func init() {
+	m := make(map[string]ids.NodeID)
+	nodeIntern.m.Store(&m)
+}
+
+func internNode(b []byte) ids.NodeID {
+	if n, ok := (*nodeIntern.m.Load())[string(b)]; ok {
+		return n
+	}
+	n := ids.NodeID(b)
+	nodeIntern.mu.Lock()
+	old := *nodeIntern.m.Load()
+	if _, ok := old[string(n)]; !ok && len(old) < nodeInternCap {
+		next := make(map[string]ids.NodeID, len(old)+1)
+		for k, v := range old {
+			next[k] = v
+		}
+		next[string(n)] = n
+		nodeIntern.m.Store(&next)
+	}
+	nodeIntern.mu.Unlock()
+	return n
+}
+
+func (r *reader) node() ids.NodeID {
+	n := r.count()
+	if r.err != nil {
+		return ""
+	}
+	if r.pos+n > len(r.data) {
+		r.fail("truncated string at offset %d (+%d)", r.pos, n)
+		return ""
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return internNode(b)
+}
 
 func (r *reader) globalRef() ids.GlobalRef {
 	n := r.node()

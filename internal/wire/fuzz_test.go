@@ -29,6 +29,12 @@ func FuzzDecode(f *testing.F) {
 		&HughesThreshold{Threshold: 42},
 		&BacktraceRequest{TraceID: 1, Origin: "P1", From: "P3", Obj: 4, Visited: []ids.RefID{r1}},
 		&BacktraceReply{TraceID: 1, From: "P2", Obj: 4, RootFound: true},
+		&Batch{Msgs: []Message{
+			&HughesThreshold{Threshold: 42},
+			&CDM{Det: core.DetectionID{Origin: "P2", Seq: 9}, Along: r1, Hops: 2,
+				Entries: []CDMEntry{{Ref: r1, InSource: true, SrcIC: 2}}},
+		}},
+		&Batch{},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))

@@ -1,10 +1,24 @@
 package wire
 
 import (
+	"math"
+	"math/bits"
+
 	"dgc/internal/core"
 	"dgc/internal/ids"
 	"dgc/internal/refs"
 )
+
+// Analytic sizes of the encoder's primitives, for messages hot enough to
+// answer EncodedSize without an encode walk. Must mirror enc.go exactly.
+
+func uvarintSize(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+func nodeSize(n ids.NodeID) int { return uvarintSize(uint64(len(n))) + len(n) }
+
+func refIDSize(r ids.RefID) int {
+	return nodeSize(r.Src) + nodeSize(r.Dst.Node) + uvarintSize(uint64(r.Dst.Obj))
+}
 
 // ---- remote invocation --------------------------------------------------
 
@@ -173,6 +187,14 @@ type CDMEntry struct {
 	SrcIC    uint64
 	InTarget bool
 	TgtIC    uint64
+
+	// iid is the process-local interned id of Ref, biased by one (0 means
+	// unknown). Never encoded — interned ids are meaningless to peers — so
+	// it is zero on decoded and literal-constructed entries and set only by
+	// FlattenAlg, which fills whole entry lists uniformly. It lets
+	// in-process deliveries rebuild or merge the algebra without re-hashing
+	// any reference.
+	iid int32
 }
 
 // CDM is a cycle detection message: the detection identity, the reference it
@@ -182,6 +204,15 @@ type CDM struct {
 	Along   ids.RefID
 	Hops    uint32
 	Entries []CDMEntry
+
+	// src is the algebra the message was flattened from. Never encoded: it
+	// exists so in-process deliveries (the in-memory fabric passes message
+	// pointers) can merge the already-id-sorted dense entries directly,
+	// skipping the flatten→re-sort round-trip. Receivers treat it as
+	// immutable — Merge never mutates its operand and the detector clones
+	// before deriving — which is what makes sharing one algebra across the
+	// whole fan-out and every local delivery safe. Zero on decoded messages.
+	src core.Alg
 }
 
 // Kind implements Message.
@@ -192,6 +223,21 @@ func (m *CDM) encode(buf []byte) []byte {
 	buf = putUint(buf, m.Det.Seq)
 	buf = putRefID(buf, m.Along)
 	buf = putUint(buf, uint64(m.Hops))
+	if m.Entries == nil && m.src != (core.Alg{}) {
+		// Lazily-flattened message (NewCDMFromAlg): encode straight off the
+		// algebra in canonical order — byte-identical to the eager path, no
+		// materialized entry list.
+		buf = putUint(buf, uint64(m.src.Len()))
+		m.src.EachCanonical(func(r ids.RefID, e core.Entry) bool {
+			buf = putRefID(buf, r)
+			buf = putBool(buf, e.InSource)
+			buf = putUint(buf, e.SrcIC)
+			buf = putBool(buf, e.InTarget)
+			buf = putUint(buf, e.TgtIC)
+			return true
+		})
+		return buf
+	}
 	buf = putUint(buf, uint64(len(m.Entries)))
 	for _, e := range m.Entries {
 		buf = putRefID(buf, e.Ref)
@@ -203,12 +249,39 @@ func (m *CDM) encode(buf []byte) []byte {
 	return buf
 }
 
+// encodedSize returns len(m.encode(nil)) without encoding. CDMs dominate
+// detection traffic and the transports size every message (inproc byte
+// accounting, TCP batch chunking), so the walk is worth skipping.
+func (m *CDM) encodedSize() int {
+	n := nodeSize(m.Det.Origin) + uvarintSize(m.Det.Seq) +
+		refIDSize(m.Along) + uvarintSize(uint64(m.Hops))
+	if m.Entries == nil && m.src != (core.Alg{}) {
+		// Sizes are order-independent, so the lazy path walks the algebra
+		// unsorted.
+		n += uvarintSize(uint64(m.src.Len()))
+		m.src.Each(func(r ids.RefID, e core.Entry) bool {
+			n += refIDSize(r) + 2 + uvarintSize(e.SrcIC) + uvarintSize(e.TgtIC)
+			return true
+		})
+		return n
+	}
+	n += uvarintSize(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		n += refIDSize(e.Ref) + 2 + uvarintSize(e.SrcIC) + uvarintSize(e.TgtIC)
+	}
+	return n
+}
+
 func decodeCDM(r *reader) *CDM {
 	m := &CDM{
 		Det:   core.DetectionID{Origin: r.node(), Seq: r.uint()},
 		Along: r.refID(),
 	}
-	m.Hops = uint32(r.uint())
+	hops := r.uint()
+	if hops > math.MaxUint32 {
+		r.fail("hops %d overflows uint32", hops)
+	}
+	m.Hops = uint32(hops)
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Entries = append(m.Entries, CDMEntry{
@@ -222,33 +295,92 @@ func decodeCDM(r *reader) *CDM {
 	return m
 }
 
+// FlattenAlg flattens an algebra into wire entries in canonical reference
+// order, with each entry carrying its process-local interned id. The
+// canonical order is computed from the algebra's cached integer ranks, so
+// flattening never compares reference strings. The returned slice is treated
+// as immutable: the detector's fan-out shares one flattening across the CDMs
+// sent to every eligible peer.
+func FlattenAlg(alg core.Alg) []CDMEntry {
+	entries := make([]CDMEntry, 0, alg.Len())
+	alg.EachCanonicalInterned(func(id int32, r ids.RefID, e core.Entry) bool {
+		entries = append(entries, CDMEntry{
+			Ref: r, InSource: e.InSource, SrcIC: e.SrcIC, InTarget: e.InTarget, TgtIC: e.TgtIC,
+			iid: id + 1,
+		})
+		return true
+	})
+	return entries
+}
+
 // NewCDM builds a CDM message from an algebra, flattening entries in
 // canonical reference order.
 func NewCDM(det core.DetectionID, along ids.RefID, alg core.Alg, hops int) *CDM {
-	m := &CDM{Det: det, Along: along, Hops: uint32(hops)}
-	keys := make([]ids.RefID, 0, alg.Len())
-	for r := range alg.Entries {
-		keys = append(keys, r)
-	}
-	ids.SortRefIDs(keys)
-	for _, r := range keys {
-		e := alg.Entries[r]
-		m.Entries = append(m.Entries, CDMEntry{
-			Ref: r, InSource: e.InSource, SrcIC: e.SrcIC, InTarget: e.InTarget, TgtIC: e.TgtIC,
-		})
-	}
-	return m
+	return NewCDMFromFlat(det, along, alg, FlattenAlg(alg), hops)
 }
 
-// Alg reconstructs the algebra carried by the message.
+// NewCDMFromFlat builds a CDM around an algebra and its already-flattened
+// entry list (FlattenAlg's output), sharing both.
+func NewCDMFromFlat(det core.DetectionID, along ids.RefID, alg core.Alg, entries []CDMEntry, hops int) *CDM {
+	return &CDM{Det: det, Along: along, Hops: uint32(hops), Entries: entries, src: alg}
+}
+
+// NewCDMFromAlg builds a lazily-flattened CDM: the message carries only the
+// algebra, Entries stays nil, and the codec flattens during encode (which
+// in-process deliveries never reach). This is the detector fan-out's
+// constructor — one algebra shared across every peer's CDM, one allocation
+// per message.
+func NewCDMFromAlg(det core.DetectionID, along ids.RefID, alg core.Alg, hops int) *CDM {
+	return &CDM{Det: det, Along: along, Hops: uint32(hops), src: alg}
+}
+
+// interned reports whether the message's entries carry cached interned ids
+// (entry lists are uniform: all from FlattenAlg or all without ids).
+func (m *CDM) interned() bool {
+	return len(m.Entries) > 0 && m.Entries[0].iid != 0
+}
+
+// MergeAlgInto merges the carried algebra into a, with Merge's semantics.
+// Messages built in this process merge the sender's algebra directly (its
+// entries are already dense and id-sorted — no hashing, no sorting); decoded
+// messages with cached interned ids merge off the flattened entries; plain
+// decoded messages rebuild an algebra first.
+func (m *CDM) MergeAlgInto(a core.Alg) (changed, conflict bool) {
+	if m.src != (core.Alg{}) {
+		return a.Merge(m.src)
+	}
+	if m.interned() {
+		return a.MergeInterned(len(m.Entries), func(i int) (int32, core.Entry) {
+			e := m.Entries[i]
+			return e.iid - 1, core.Entry{
+				InSource: e.InSource, SrcIC: e.SrcIC, InTarget: e.InTarget, TgtIC: e.TgtIC,
+			}
+		})
+	}
+	return a.Merge(m.Alg())
+}
+
+// Alg reconstructs the algebra carried by the message. Messages built in
+// this process clone the carried algebra (one copy, no hashing or sorting);
+// decoded messages intern each reference and rebuild.
 func (m *CDM) Alg() core.Alg {
-	a := core.NewAlg()
-	for _, e := range m.Entries {
-		a.Entries[e.Ref] = core.Entry{
+	if m.src != (core.Alg{}) {
+		return m.src.Clone()
+	}
+	if m.interned() {
+		return core.BuildAlgInterned(len(m.Entries), func(i int) (int32, core.Entry) {
+			e := m.Entries[i]
+			return e.iid - 1, core.Entry{
+				InSource: e.InSource, SrcIC: e.SrcIC, InTarget: e.InTarget, TgtIC: e.TgtIC,
+			}
+		})
+	}
+	return core.BuildAlg(len(m.Entries), func(i int) (ids.RefID, core.Entry) {
+		e := m.Entries[i]
+		return e.Ref, core.Entry{
 			InSource: e.InSource, SrcIC: e.SrcIC, InTarget: e.InTarget, TgtIC: e.TgtIC,
 		}
-	}
-	return a
+	})
 }
 
 // DeleteScion tells the destination that the scion for Ref belongs to a

@@ -10,6 +10,7 @@ package wire
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Kind discriminates message types on the wire.
@@ -28,6 +29,7 @@ const (
 	KindHughesThreshold
 	KindBacktraceRequest
 	KindBacktraceReply
+	KindBatch
 )
 
 // String returns the protocol name of the kind.
@@ -55,6 +57,8 @@ func (k Kind) String() string {
 		return "BacktraceRequest"
 	case KindBacktraceReply:
 		return "BacktraceReply"
+	case KindBatch:
+		return "Batch"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -67,11 +71,63 @@ type Message interface {
 	encode(buf []byte) []byte
 }
 
-// Encode serializes a message with its kind tag.
-func Encode(m Message) []byte {
-	buf := make([]byte, 0, 64)
+// encPool recycles encode scratch buffers. Buffers grow to the largest
+// message they have carried and are reused across Encode/EncodedSize/frame
+// building, so steady-state encoding performs exactly one allocation (the
+// returned exact-size slice) — and zero when callers use AppendEncode.
+var encPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// getEncBuf returns a pooled scratch buffer with at least sizeHint capacity.
+func getEncBuf(sizeHint int) *[]byte {
+	bp := encPool.Get().(*[]byte)
+	if cap(*bp) < sizeHint {
+		*bp = make([]byte, 0, sizeHint)
+	}
+	return bp
+}
+
+func putEncBuf(bp *[]byte) {
+	*bp = (*bp)[:0]
+	encPool.Put(bp)
+}
+
+// AppendEncode serializes a message with its kind tag, appending to buf.
+// This is the zero-allocation path used by the TCP frame builder; Encode
+// wraps it for callers that want a fresh slice.
+func AppendEncode(buf []byte, m Message) []byte {
 	buf = append(buf, byte(m.Kind()))
 	return m.encode(buf)
+}
+
+// Encode serializes a message with its kind tag. The returned slice is
+// exactly sized; encoding scratch comes from a pool.
+func Encode(m Message) []byte {
+	bp := getEncBuf(64)
+	scratch := AppendEncode((*bp)[:0], m)
+	out := make([]byte, len(scratch))
+	copy(out, scratch)
+	*bp = scratch
+	putEncBuf(bp)
+	return out
+}
+
+// EncodedSize returns len(Encode(m)) without allocating: the transports use
+// it for traffic accounting and frame sizing.
+func EncodedSize(m Message) int {
+	// Hot message kinds answer analytically (the +1 is the kind byte);
+	// everything else pays one pooled encode walk.
+	if s, ok := m.(interface{ encodedSize() int }); ok {
+		return 1 + s.encodedSize()
+	}
+	bp := getEncBuf(64)
+	n := len(AppendEncode((*bp)[:0], m))
+	putEncBuf(bp)
+	return n
 }
 
 // Decode parses a message produced by Encode.
@@ -104,6 +160,8 @@ func Decode(data []byte) (Message, error) {
 		m = decodeBacktraceRequest(r)
 	case KindBacktraceReply:
 		m = decodeBacktraceReply(r)
+	case KindBatch:
+		m = decodeBatch(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
 	}

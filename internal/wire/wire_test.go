@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bytes"
+	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -49,6 +51,11 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&HughesThreshold{Threshold: 42},
 		&BacktraceRequest{TraceID: 1, Origin: "P1", From: "P3", Obj: 4, Visited: []ids.RefID{r1, r2}},
 		&BacktraceReply{TraceID: 1, From: "P2", Obj: 4, RootFound: true},
+		&Batch{Msgs: []Message{
+			&HughesThreshold{Threshold: 42},
+			&DeleteScion{Det: det, Ref: r1},
+		}},
+		&Batch{},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -126,8 +133,151 @@ func TestCDMAlgConversionProperty(t *testing.T) {
 	}
 }
 
+func TestBatchRejectsNesting(t *testing.T) {
+	inner := Encode(&Batch{Msgs: []Message{&HughesThreshold{Threshold: 1}}})
+	data := []byte{byte(KindBatch), 1}
+	data = putUint(data, uint64(len(inner)))
+	data = append(data, inner...)
+	if _, err := Decode(data); err == nil {
+		t.Fatal("nested batch accepted")
+	}
+	// Empty sub-message must also be rejected.
+	data = []byte{byte(KindBatch), 1, 0}
+	if _, err := Decode(data); err == nil {
+		t.Fatal("empty batch element accepted")
+	}
+}
+
+// TestNewCDMBytesMatchReference builds the wire CDM two ways — through the
+// interned algebra's NewCDM and by hand from a parallel map (the retired
+// representation) — and requires byte-identical encodings. Together with
+// core's algReference property tests this pins the interned algebra's wire
+// output to the old implementation's.
+func TestNewCDMBytesMatchReference(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		alg := core.NewAlg()
+		mirror := map[ids.RefID]core.Entry{}
+		n := rng.Intn(12)
+		for i := 0; i < n; i++ {
+			r := ids.RefID{
+				Src: ids.NodeID([]string{"P1", "P2", "P3"}[rng.Intn(3)]),
+				Dst: ids.GlobalRef{Node: ids.NodeID([]string{"P4", "P5"}[rng.Intn(2)]), Obj: ids.ObjID(rng.Intn(6))},
+			}
+			if rng.Intn(2) == 0 {
+				alg.AddSource(r, uint64(rng.Intn(4)))
+			}
+			if rng.Intn(2) == 0 {
+				alg.AddTarget(r, uint64(rng.Intn(4)))
+			}
+			if e, ok := alg.Get(r); ok {
+				mirror[r] = e
+			}
+		}
+		det := core.DetectionID{Origin: "P2", Seq: uint64(seed)}
+		along := ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P1", Obj: 1}}
+		got := Encode(NewCDM(det, along, alg, 3))
+
+		// Reference flattening: sorted map keys, exactly as the retired
+		// map-based NewCDM did it.
+		keys := make([]ids.RefID, 0, len(mirror))
+		for r := range mirror {
+			keys = append(keys, r)
+		}
+		ids.SortRefIDs(keys)
+		ref := &CDM{Det: det, Along: along, Hops: 3}
+		for _, r := range keys {
+			e := mirror[r]
+			ref.Entries = append(ref.Entries, CDMEntry{
+				Ref: r, InSource: e.InSource, SrcIC: e.SrcIC, InTarget: e.InTarget, TgtIC: e.TgtIC,
+			})
+		}
+		want := Encode(ref)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: wire bytes differ\n got %x\nwant %x", seed, got, want)
+		}
+
+		// The lazily-flattened constructor (what the detector fan-out sends)
+		// must produce the same bytes and the same size as the eager path.
+		lazy := NewCDMFromAlg(det, along, alg, 3)
+		if lb := Encode(lazy); !bytes.Equal(lb, want) {
+			t.Fatalf("seed %d: lazy wire bytes differ\n got %x\nwant %x", seed, lb, want)
+		}
+		if n := EncodedSize(lazy); n != len(want) {
+			t.Fatalf("seed %d: lazy EncodedSize = %d, want %d", seed, n, len(want))
+		}
+		if !lazy.Alg().Equal(alg) {
+			t.Fatalf("seed %d: lazy Alg() mismatch", seed)
+		}
+	}
+}
+
+func TestEncodedSizeAndAppendEncode(t *testing.T) {
+	det := core.DetectionID{Origin: "P2", Seq: 9}
+	r1 := ids.RefID{Src: "P1", Dst: ids.GlobalRef{Node: "P2", Obj: 6}}
+	msgs := []Message{
+		&HughesThreshold{Threshold: 42},
+		&DeleteScion{Det: det, Ref: r1},
+		&Batch{Msgs: []Message{&DeleteScion{Det: det, Ref: r1}}},
+	}
+	for _, m := range msgs {
+		data := Encode(m)
+		if n := EncodedSize(m); n != len(data) {
+			t.Errorf("%s: EncodedSize = %d, len(Encode) = %d", m.Kind(), n, len(data))
+		}
+		prefix := []byte{0xAB, 0xCD}
+		app := AppendEncode(append([]byte{}, prefix...), m)
+		if !bytes.Equal(app[:2], prefix) || !bytes.Equal(app[2:], data) {
+			t.Errorf("%s: AppendEncode mismatch", m.Kind())
+		}
+	}
+
+	// The CDM answers EncodedSize analytically: sweep values across varint
+	// width boundaries and verify against the real encoder.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		m := &CDM{
+			Det:   core.DetectionID{Origin: ids.NodeID(randName(rng)), Seq: randUint(rng)},
+			Along: randRefID(rng),
+			Hops:  uint32(randUint(rng)),
+		}
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			m.Entries = append(m.Entries, CDMEntry{
+				Ref:      randRefID(rng),
+				InSource: rng.Intn(2) == 0,
+				SrcIC:    randUint(rng),
+				InTarget: rng.Intn(2) == 0,
+				TgtIC:    randUint(rng),
+			})
+		}
+		if n, data := EncodedSize(m), Encode(m); n != len(data) {
+			t.Fatalf("trial %d: CDM EncodedSize = %d, len(Encode) = %d", trial, n, len(data))
+		}
+	}
+}
+
+func randName(rng *rand.Rand) string {
+	b := make([]byte, rng.Intn(12))
+	for i := range b {
+		b[i] = byte('A' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func randUint(rng *rand.Rand) uint64 {
+	// Bias across varint widths: a random bit length, then a random value.
+	return rng.Uint64() >> uint(rng.Intn(64))
+}
+
+func randRefID(rng *rand.Rand) ids.RefID {
+	return ids.RefID{
+		Src: ids.NodeID(randName(rng)),
+		Dst: ids.GlobalRef{Node: ids.NodeID(randName(rng)), Obj: ids.ObjID(randUint(rng))},
+	}
+}
+
 func TestKindStrings(t *testing.T) {
-	for k := KindInvokeRequest; k <= KindBacktraceReply; k++ {
+	for k := KindInvokeRequest; k <= KindBatch; k++ {
 		if s := k.String(); s == "" || s[0] == 'K' {
 			t.Errorf("Kind(%d).String() = %q", k, s)
 		}
