@@ -1,16 +1,23 @@
 // dgc-node runs one process of the distributed system as a TCP daemon: an
 // object heap with its local collector, reference-listing acyclic DGC and
-// distributed cycle detector, driven by a periodic tick.
+// distributed cycle detector, driven by the wall-clock LiveRuntime (a
+// mailbox goroutine with periodic daemon tickers — no manual tick loop).
 //
 // Usage:
 //
 //	dgc-node -id P1 -listen :7001 -peers P2=host2:7002,P3=host3:7003
 //	         [-tick 250ms] [-lgc-every 2] [-snapshot-every 4] [-detect-every 4]
 //	         [-snapshot-dir DIR] [-codec binary|reflect] [-seed-objects N]
+//	         [-state-file FILE]
 //
-// Start one dgc-node per machine (or per port for local experiments); the
-// examples/tcpcluster program shows the same topology driven from a single
-// process. The daemon prints a stats line every 10 ticks.
+// The -*-every flags are multiples of the tick period (e.g. -tick 250ms
+// -lgc-every 2 runs the local collector every 500ms). Start one dgc-node
+// per machine (or per port for local experiments); the examples/tcpcluster
+// program shows the same topology driven from a single process. The daemon
+// prints a stats line every -stats-every ticks. On SIGINT/SIGTERM it
+// optionally persists collector state to -state-file, from which a restart
+// resumes (heap, stub/scion tables with invocation counters, sequence
+// numbers).
 package main
 
 import (
@@ -67,9 +74,6 @@ func main() {
 	defer ep.Close()
 
 	cfg := dgc.Config{
-		LGCEvery:         *lgcEvery,
-		SnapshotEvery:    *snapEvery,
-		DetectEvery:      *detectEvery,
 		CandidateMinAge:  *candidateAge,
 		CallTimeoutTicks: *callTimeoutTk,
 		SnapshotDir:      *snapshotDir,
@@ -88,56 +92,68 @@ func main() {
 		cfg.Codec = dgc.BinaryCodec{}
 	}
 
-	var n *dgc.Node
+	// Daemon intervals are tick multiples; the runtime schedules them on
+	// wall-clock tickers.
+	rcfg := dgc.RuntimeConfig{
+		Tick:             *tick,
+		LGCInterval:      time.Duration(*lgcEvery) * *tick,
+		SnapshotInterval: time.Duration(*snapEvery) * *tick,
+		DetectInterval:   time.Duration(*detectEvery) * *tick,
+	}
+
+	var rt *dgc.LiveRuntime
 	if *stateFile != "" {
 		if data, err := os.ReadFile(*stateFile); err == nil {
-			n, err = dgc.RestoreNode(ep, cfg, data)
+			rt, err = dgc.RestoreLiveRuntime(ep, cfg, rcfg, data)
 			if err != nil {
 				log.Fatalf("dgc-node: restore %s: %v", *stateFile, err)
 			}
-			fmt.Printf("restored state from %s (%d objects)\n", *stateFile, n.NumObjects())
+			fmt.Printf("restored state from %s (%d objects)\n", *stateFile, rt.NumObjects())
 		} else if !os.IsNotExist(err) {
 			log.Fatalf("dgc-node: read %s: %v", *stateFile, err)
 		}
 	}
-	if n == nil {
-		n = dgc.NewNode(dgc.NodeID(*id), ep, cfg)
+	if rt == nil {
+		rt = dgc.NewLiveRuntime(dgc.NodeID(*id), ep, cfg, rcfg)
 	}
 	fmt.Printf("dgc-node %s listening on %s (%d peers)\n", *id, ep.Addr(), len(peers))
 
 	if *seedObjects > 0 {
-		n.With(func(m dgc.Mutator) {
+		if err := rt.With(func(m dgc.Mutator) {
 			for i := 0; i < *seedObjects; i++ {
 				obj := m.Alloc(nil)
 				if err := m.Root(obj); err != nil {
 					log.Fatal(err)
 				}
 			}
-		})
+		}); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("seeded %d rooted objects\n", *seedObjects)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(*tick)
-	defer ticker.Stop()
 
-	ticks := 0
+	// The runtime drives itself; this loop only reports.
+	var statsC <-chan time.Time
+	if *statsEvery > 0 {
+		t := time.NewTicker(time.Duration(*statsEvery) * *tick)
+		defer t.Stop()
+		statsC = t.C
+	}
 	for {
 		select {
-		case <-ticker.C:
-			n.Tick()
-			ticks++
-			if *statsEvery > 0 && ticks%*statsEvery == 0 {
-				s := n.Stats()
-				fmt.Printf("[%s t=%d] objects=%d scions=%d stubs=%d swept=%d detections=%d cycles=%d aborted=%d\n",
-					*id, s.Clock, n.NumObjects(), n.NumScions(), n.NumStubs(),
-					s.ObjectsSwept, s.Detector.Started, s.Detector.CyclesFound, s.Detector.Aborted)
-			}
+		case <-statsC:
+			s := rt.Stats()
+			fmt.Printf("[%s t=%d] objects=%d scions=%d stubs=%d swept=%d detections=%d cycles=%d aborted=%d\n",
+				*id, s.Clock, rt.NumObjects(), rt.NumScions(), rt.NumStubs(),
+				s.ObjectsSwept, s.Detector.Started, s.Detector.CyclesFound, s.Detector.Aborted)
 		case <-sig:
-			s := n.Stats()
+			s := rt.Stats()
+			objects := rt.NumObjects()
 			if *stateFile != "" {
-				data, err := n.Save()
+				data, err := rt.Save()
 				if err != nil {
 					log.Printf("dgc-node: save: %v", err)
 				} else if err := os.WriteFile(*stateFile, data, 0o644); err != nil {
@@ -146,8 +162,9 @@ func main() {
 					fmt.Printf("\nstate saved to %s (%d bytes)\n", *stateFile, len(data))
 				}
 			}
+			rt.Close()
 			fmt.Printf("dgc-node %s shutting down: %d objects, %d swept over %d ticks\n",
-				*id, n.NumObjects(), s.ObjectsSwept, s.Clock)
+				*id, objects, s.ObjectsSwept, s.Clock)
 			return
 		}
 	}

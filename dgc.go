@@ -75,7 +75,17 @@ type (
 	Method = node.Method
 	// Stats are a node's activity counters.
 	Stats = node.Stats
+	// Machine is the pure protocol core a driver schedules (see DESIGN.md §8).
+	Machine = node.Machine
+	// LiveRuntime is the wall-clock driver: a mailbox goroutine per node
+	// with periodic daemon tickers, for real deployments.
+	LiveRuntime = node.LiveRuntime
+	// RuntimeConfig tunes a LiveRuntime's tick and daemon intervals.
+	RuntimeConfig = node.RuntimeConfig
 )
+
+// ErrRuntimeClosed is returned by LiveRuntime entry points after Close.
+var ErrRuntimeClosed = node.ErrRuntimeClosed
 
 // Cluster-level types.
 type (
@@ -123,6 +133,20 @@ func NewNode(id NodeID, ep transport.Endpoint, cfg Config) *Node {
 // (they are volatile by design).
 func RestoreNode(ep transport.Endpoint, cfg Config, state []byte) (*Node, error) {
 	return node.Restore(ep, cfg, state)
+}
+
+// NewLiveRuntime assembles a wall-clock node over the endpoint and starts
+// its event loop and daemon tickers: the engine of a real deployment
+// (cmd/dgc-node, examples/tcpcluster). Close stops it; the caller closes
+// the endpoint separately.
+func NewLiveRuntime(id NodeID, ep transport.Endpoint, cfg Config, rcfg RuntimeConfig) *LiveRuntime {
+	return node.NewLiveRuntime(id, ep, cfg, rcfg)
+}
+
+// RestoreLiveRuntime reconstructs a live node from state produced by Save
+// and starts it: the persistent-store restart path for real deployments.
+func RestoreLiveRuntime(ep transport.Endpoint, cfg Config, rcfg RuntimeConfig, state []byte) (*LiveRuntime, error) {
+	return node.RestoreLiveRuntime(ep, cfg, rcfg, state)
 }
 
 // ListenTCP opens a TCP endpoint for node id at addr ("host:port"; port 0

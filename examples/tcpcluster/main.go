@@ -1,10 +1,13 @@
 // TCP cluster: three nodes on real sockets (loopback), built and collected
-// entirely through the remote-invocation API — no simulation harness.
+// entirely through the remote-invocation API — no simulation harness and no
+// manual GC driving.
 //
-// The program creates a three-process distributed cycle through RPC alone
+// Each node runs a LiveRuntime: a mailbox goroutine with wall-clock tickers
+// for the local collector, graph summarization and cycle detection. The
+// program creates a three-process distributed cycle through RPC alone
 // (acquire, alloc-child, store), verifies reference listing keeps it alive,
-// drops the root, and drives periodic GC ticks on every node until the
-// cycle detector reclaims it over the wire.
+// drops the root, and simply waits while the periodic daemons detect and
+// reclaim the cycle over the wire.
 //
 //	go run ./examples/tcpcluster
 package main
@@ -36,10 +39,17 @@ func main() {
 			}
 		}
 	}
-	cfg := dgc.Config{CallTimeoutTicks: 200}
-	nodes := make(map[dgc.NodeID]*dgc.Node, 3)
+	cfg := dgc.Config{CallTimeoutTicks: 200, CandidateMinAge: 2}
+	rcfg := dgc.RuntimeConfig{
+		Tick:             25 * time.Millisecond,
+		LGCInterval:      50 * time.Millisecond,
+		SnapshotInterval: 100 * time.Millisecond,
+		DetectInterval:   100 * time.Millisecond,
+	}
+	nodes := make(map[dgc.NodeID]*dgc.LiveRuntime, 3)
 	for _, n := range names {
-		nodes[n] = dgc.NewNode(n, eps[n], cfg)
+		nodes[n] = dgc.NewLiveRuntime(n, eps[n], cfg, rcfg)
+		defer nodes[n].Close()
 		fmt.Printf("node %s listening on %s\n", n, eps[n].Addr())
 	}
 
@@ -47,16 +57,20 @@ func main() {
 	anchors := make(map[dgc.NodeID]dgc.GlobalRef, 3)
 	for _, n := range names {
 		var obj dgc.ObjID
-		nodes[n].With(func(m dgc.Mutator) {
+		if err := nodes[n].With(func(m dgc.Mutator) {
 			obj = m.Alloc([]byte("anchor-" + string(n)))
-		})
+		}); err != nil {
+			log.Fatal(err)
+		}
 		anchors[n] = dgc.GlobalRef{Node: n, Obj: obj}
 	}
-	nodes["A"].With(func(m dgc.Mutator) {
+	if err := nodes["A"].With(func(m dgc.Mutator) {
 		if err := m.Root(anchors["A"].Obj); err != nil {
 			log.Fatal(err)
 		}
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// Build the ring A -> B -> C -> A through acquire + store RPCs.
 	link := func(from, to dgc.NodeID) {
@@ -83,41 +97,27 @@ func main() {
 	link("C", "A")
 	fmt.Println("distributed ring A -> B -> C -> A built over TCP")
 
-	// Every node collects: the ring survives (A's anchor is rooted, and
-	// scions protect B and C).
-	for _, n := range names {
-		nodes[n].RunLGC()
-	}
-	time.Sleep(100 * time.Millisecond)
+	// Let a few periodic collections pass: the ring survives (A's anchor is
+	// rooted, and scions protect B and C).
+	time.Sleep(200 * time.Millisecond)
 	fmt.Printf("after local GCs: %d objects alive (want 3)\n", totalObjects(nodes))
 
 	// Drop the root: the ring is now a distributed garbage cycle that
-	// reference listing cannot reclaim.
-	nodes["A"].With(func(m dgc.Mutator) { m.Unroot(anchors["A"].Obj) })
+	// reference listing cannot reclaim. The wall-clock daemons take it from
+	// here — no manual GC driving.
+	if err := nodes["A"].With(func(m dgc.Mutator) { m.Unroot(anchors["A"].Obj) }); err != nil {
+		log.Fatal(err)
+	}
 
-	// Drive periodic GC on every node until the detector reclaims it.
-	deadline := time.Now().Add(10 * time.Second)
-	rounds := 0
+	start := time.Now()
+	deadline := start.Add(15 * time.Second)
 	for totalObjects(nodes) > 0 {
 		if time.Now().After(deadline) {
 			log.Fatalf("cycle not reclaimed in time: %d objects left", totalObjects(nodes))
 		}
-		for _, n := range names {
-			nodes[n].RunLGC()
-		}
-		time.Sleep(50 * time.Millisecond) // let NewSetStubs land
-		for _, n := range names {
-			if err := nodes[n].Summarize(); err != nil {
-				log.Fatal(err)
-			}
-		}
-		for _, n := range names {
-			nodes[n].RunDetection()
-		}
-		time.Sleep(50 * time.Millisecond) // let CDMs circulate
-		rounds++
+		time.Sleep(25 * time.Millisecond)
 	}
-	fmt.Printf("distributed cycle reclaimed over TCP in %d GC rounds ✔\n", rounds)
+	fmt.Printf("distributed cycle reclaimed over TCP in %v ✔\n", time.Since(start).Round(time.Millisecond))
 
 	var found uint64
 	for _, n := range nodes {
@@ -126,7 +126,7 @@ func main() {
 	fmt.Printf("cycle detections completed: %d\n", found)
 }
 
-func totalObjects(nodes map[dgc.NodeID]*dgc.Node) int {
+func totalObjects(nodes map[dgc.NodeID]*dgc.LiveRuntime) int {
 	total := 0
 	for _, n := range nodes {
 		total += n.NumObjects()

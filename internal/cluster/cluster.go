@@ -10,6 +10,7 @@ package cluster
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"dgc/internal/heap"
@@ -53,8 +54,12 @@ func (c *Cluster) Add(id ids.NodeID, cfg node.Config) *node.Node {
 	}
 	n := node.New(id, c.Net.Endpoint(id), cfg)
 	c.nodes[id] = n
-	c.order = append(c.order, id)
-	ids.SortNodeIDs(c.order)
+	// Insert in canonical position instead of re-sorting the whole slice on
+	// every Add (quadratic churn when building large clusters).
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
+	c.order = append(c.order, "")
+	copy(c.order[i+1:], c.order[i:])
+	c.order[i] = id
 	return n
 }
 

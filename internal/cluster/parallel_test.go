@@ -101,8 +101,9 @@ func TestStagingCapturesAndFlushesInOrder(t *testing.T) {
 	var got []ids.NodeID
 	for _, id := range []ids.NodeID{"A", "B", "C"} {
 		ep := net.Endpoint(id)
-		ep.SetHandler(func(from ids.NodeID, msg wire.Message) {
+		ep.SetHandler(func(from ids.NodeID, msg wire.Message) []transport.Envelope {
 			got = append(got, from)
+			return nil
 		})
 	}
 	net.BeginStage()

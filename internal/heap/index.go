@@ -15,14 +15,14 @@ import (
 // structure: it is not updated by later mutations.
 type Index struct {
 	h   *Heap
-	ids []ids.ObjID          // ascending; slice position is the dense index
-	pos map[ids.ObjID]int32  // reverse of ids
+	ids []ids.ObjID         // ascending; slice position is the dense index
+	pos map[ids.ObjID]int32 // reverse of ids
 
 	adj [][]int32 // local out-edges by dense index; dangling refs dropped
 
-	targets []ids.GlobalRef           // distinct remote targets, canonical order
-	tpos    map[ids.GlobalRef]int32   // reverse of targets
-	holders [][]int32                 // target index -> holder object indices, ascending
+	targets []ids.GlobalRef         // distinct remote targets, canonical order
+	tpos    map[ids.GlobalRef]int32 // reverse of targets
+	holders [][]int32               // target index -> holder object indices, ascending
 }
 
 // BuildIndex constructs the dense view of the heap's current structure in

@@ -32,8 +32,8 @@ type internChunk [internChunkSize]RefID
 // storage is reached through an atomic spine pointer. Only first sight of a
 // reference takes the write lock.
 type Interner struct {
-	mu    sync.Mutex  // serializes id assignment
-	idx   sync.Map    // RefID -> int32
+	mu    sync.Mutex // serializes id assignment
+	idx   sync.Map   // RefID -> int32
 	spine atomic.Pointer[[]*internChunk]
 	n     atomic.Int32 // published length; slots < n are immutable
 }

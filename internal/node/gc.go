@@ -12,219 +12,186 @@ import (
 	"dgc/internal/wire"
 )
 
-// Collector daemons. Each public entry locks; tests and the cluster
-// scheduler may also drive them through Tick.
+// Collector daemons: machine inputs invoked periodically by a driver
+// (Node.Tick under the simulator's schedule, LiveRuntime's wall-clock
+// tickers) or explicitly by tests.
 
-// Tick advances the node's logical clock by one, expires timed-out calls and
-// runs the periodic daemons configured in Config. The order within a tick is
+// Tick advances the logical clock by one, expires timed-out calls and runs
+// the periodic daemons configured in Config. The order within a tick is
 // LGC, then snapshot/summarize, then detection — matching the data flow
 // (detection consumes summaries, summaries consume post-LGC tables).
-func (n *Node) Tick() {
-	n.withStage(func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		n.clock++
-		n.expireCallsLocked()
-		if n.cfg.LGCEvery > 0 && n.clock%n.cfg.LGCEvery == 0 {
-			n.runLGCLocked()
-		}
-		if n.cfg.SnapshotEvery > 0 && n.clock%n.cfg.SnapshotEvery == 0 {
-			n.summarizeLocked()
-		}
-		if n.cfg.DetectEvery > 0 && n.clock%n.cfg.DetectEvery == 0 {
-			n.runDetectionLocked()
-		}
-	})
+func (m *Machine) Tick() {
+	m.AdvanceClock()
+	if m.cfg.LGCEvery > 0 && m.clock%m.cfg.LGCEvery == 0 {
+		m.RunLGC()
+	}
+	if m.cfg.SnapshotEvery > 0 && m.clock%m.cfg.SnapshotEvery == 0 {
+		_ = m.Summarize()
+	}
+	if m.cfg.DetectEvery > 0 && m.clock%m.cfg.DetectEvery == 0 {
+		m.RunDetection()
+	}
 }
 
-// Clock returns the node's logical time.
-func (n *Node) Clock() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.clock
+// AdvanceClock moves logical time forward by one tick and expires pending
+// calls whose deadline passed. Drivers with wall-clock daemon scheduling
+// (LiveRuntime) use it instead of Tick, which additionally runs the
+// Config-scheduled daemons.
+func (m *Machine) AdvanceClock() {
+	m.clock++
+	m.expireCalls()
 }
 
-func (n *Node) expireCallsLocked() {
-	for id, pc := range n.pendingCalls {
-		if pc.deadline != 0 && n.clock > pc.deadline {
-			delete(n.pendingCalls, id)
+func (m *Machine) expireCalls() {
+	for id, pc := range m.pendingCalls {
+		if pc.deadline != 0 && m.clock > pc.deadline {
+			delete(m.pendingCalls, id)
 			for _, r := range pc.pinned {
-				n.unpin(r)
+				m.unpin(r)
 			}
-			n.stats.CallsFailed++
+			m.stats.CallsFailed++
 			if pc.cb != nil {
-				pc.cb(Mutator{n: n}, Reply{OK: false, Err: "call timed out"})
+				m.callback(func() { pc.cb(Mutator{n: m}, Reply{OK: false, Err: "call timed out"}) })
 			}
 		}
 	}
 }
 
 // RunLGC performs one local collection and emits NewSetStubs messages.
-func (n *Node) RunLGC() lgc.Result {
-	var res lgc.Result
-	n.withStage(func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		res = n.runLGCLocked()
-	})
-	return res
-}
-
-func (n *Node) runLGCLocked() lgc.Result {
+func (m *Machine) RunLGC() lgc.Result {
 	// Remember every current peer before the collection can delete their
 	// last stub, so they still receive the (empty) stub set that lets them
 	// reclaim scions.
-	for _, s := range n.table.Stubs() {
-		n.acyclic.NotePeer(s.Target.Node)
+	for _, s := range m.table.Stubs() {
+		m.acyclic.NotePeer(s.Target.Node)
 	}
-	res := n.lgc.Collect(n.pinnedRefs()...)
-	n.stats.LGCRuns++
-	n.stats.ObjectsSwept += uint64(res.Swept)
-	n.emit(trace.KindLGC, "swept=%d live=%d stubs-deleted=%d", res.Swept, res.Live, res.StubsDeleted)
+	res := m.lgc.Collect(m.pinnedRefs()...)
+	m.stats.LGCRuns++
+	m.stats.ObjectsSwept += uint64(res.Swept)
+	m.emit(trace.KindLGC, "swept=%d live=%d stubs-deleted=%d", res.Swept, res.Live, res.StubsDeleted)
 
 	// "This new set of stubs is then sent to remote processes" (§1).
-	for _, ts := range n.acyclic.GenerateTargeted() {
-		n.stats.StubSetsSent++
-		n.send(ts.To, &wire.NewSetStubs{Set: ts.Msg})
+	for _, ts := range m.acyclic.GenerateTargeted() {
+		m.stats.StubSetsSent++
+		m.send(ts.To, &wire.NewSetStubs{Set: ts.Msg})
 	}
 	return res
 }
 
-// Summarize takes a snapshot of the object graph and rebuilds the node's
+// Summarize takes a snapshot of the object graph and rebuilds the
 // summarized graph description (§3 "Graph Summarization"). When a codec is
 // configured the snapshot is serialized first — the operation whose cost §4
 // measures — and optionally written to SnapshotDir.
-func (n *Node) Summarize() error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.summarizeLocked()
-}
-
-func (n *Node) summarizeLocked() error {
+func (m *Machine) Summarize() error {
 	// Mutation-epoch cache: when neither the heap nor the reference tables
 	// changed since the last rebuild, the existing summary is still exact,
 	// so serialization and summarization are both skipped. The CDM
 	// accumulators are still reset — reprocessing re-delivered CDMs against
 	// the same summary is the loss-retry mechanism, and must not be
 	// suppressed by dedup state surviving a (cheap) summarization round.
-	if n.summary != nil && n.heap.Gen() == n.sumHeapGen && n.table.Gen() == n.sumTableGen {
-		n.stats.Summarizations++
-		n.stats.SummaryCacheHits++
-		n.emit(trace.KindSummarize, "version=%d scions=%d stubs=%d cached",
-			n.summary.Version, len(n.summary.Scions), len(n.summary.Stubs))
-		n.cdmAcc = make(map[core.DetectionID]*detAcc)
-		n.cdmAborted = make(map[core.DetectionID]struct{})
+	if m.summary != nil && m.heap.Gen() == m.sumHeapGen && m.table.Gen() == m.sumTableGen {
+		m.stats.Summarizations++
+		m.stats.SummaryCacheHits++
+		m.emit(trace.KindSummarize, "version=%d scions=%d stubs=%d cached",
+			m.summary.Version, len(m.summary.Scions), len(m.summary.Stubs))
+		m.cdmAcc = make(map[core.DetectionID]*detAcc)
+		m.cdmAborted = make(map[core.DetectionID]struct{})
 		return nil
 	}
-	n.snapVersion++
-	if n.cfg.Codec != nil {
-		data, err := n.cfg.Codec.Encode(n.heap)
+	m.snapVersion++
+	if m.cfg.Codec != nil {
+		data, err := m.cfg.Codec.Encode(m.heap)
 		if err != nil {
-			return n.errf("snapshot encode: %v", err)
+			return m.errf("snapshot encode: %v", err)
 		}
-		n.stats.SnapshotBytes += uint64(len(data))
-		if n.cfg.SnapshotDir != "" {
-			path := filepath.Join(n.cfg.SnapshotDir,
-				fmt.Sprintf("%s-%06d.%s.snap", n.id, n.snapVersion, n.cfg.Codec.Name()))
-			if err := snapshot.WriteFile(n.cfg.Codec, n.heap, path); err != nil {
+		m.stats.SnapshotBytes += uint64(len(data))
+		if m.cfg.SnapshotDir != "" {
+			path := filepath.Join(m.cfg.SnapshotDir,
+				fmt.Sprintf("%s-%06d.%s.snap", m.id, m.snapVersion, m.cfg.Codec.Name()))
+			if err := snapshot.WriteFile(m.cfg.Codec, m.heap, path); err != nil {
 				return err
 			}
 		}
 	}
-	n.summary = snapshot.Summarize(n.heap, n.table, n.snapVersion)
-	n.stats.Summarizations++
-	n.emit(trace.KindSummarize, "version=%d scions=%d stubs=%d",
-		n.snapVersion, len(n.summary.Scions), len(n.summary.Stubs))
+	m.summary = snapshot.Summarize(m.heap, m.table, m.snapVersion)
+	m.stats.Summarizations++
+	m.emit(trace.KindSummarize, "version=%d scions=%d stubs=%d",
+		m.snapVersion, len(m.summary.Scions), len(m.summary.Stubs))
 	// A new summary changes CDM processing results: reset the accumulators
 	// so stale drops cannot mask newly-useful deliveries.
-	n.cdmAcc = make(map[core.DetectionID]*detAcc)
-	n.cdmAborted = make(map[core.DetectionID]struct{})
-	n.sumHeapGen = n.heap.Gen()
-	n.sumTableGen = n.table.Gen()
+	m.cdmAcc = make(map[core.DetectionID]*detAcc)
+	m.cdmAborted = make(map[core.DetectionID]struct{})
+	m.sumHeapGen = m.heap.Gen()
+	m.sumTableGen = m.table.Gen()
 	return nil
 }
 
 // RunDetection nominates cycle candidates from the current summary and
 // starts detections, up to Config.MaxDetectionsPerRound. It returns the
 // number started.
-func (n *Node) RunDetection() int {
-	var started int
-	n.withStage(func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		started = n.runDetectionLocked()
-	})
-	return started
-}
-
-func (n *Node) runDetectionLocked() int {
-	if n.summary == nil {
+func (m *Machine) RunDetection() int {
+	if m.summary == nil {
 		return 0
 	}
-	cands := n.selector.Candidates(n.summary, n.clock)
-	if n.cfg.MaxDetectionsPerRound > 0 && len(cands) > n.cfg.MaxDetectionsPerRound {
+	cands := m.selector.Candidates(m.summary, m.clock)
+	if m.cfg.MaxDetectionsPerRound > 0 && len(cands) > m.cfg.MaxDetectionsPerRound {
 		// Rotate through the candidate list across rounds so a bounded
 		// budget still eventually tries every candidate (completeness: a
 		// detection started at a dependency-blocked scion fails until its
 		// upstream is reclaimed, so no fixed prefix may monopolize the
 		// budget).
-		k := n.cfg.MaxDetectionsPerRound
-		off := int(n.detectCursor) % len(cands)
+		k := m.cfg.MaxDetectionsPerRound
+		off := int(m.detectCursor) % len(cands)
 		rotated := make([]ids.RefID, 0, k)
 		for i := 0; i < k; i++ {
 			rotated = append(rotated, cands[(off+i)%len(cands)])
 		}
-		n.detectCursor += uint64(k)
+		m.detectCursor += uint64(k)
 		cands = rotated
 	}
 	started := 0
 	for _, c := range cands {
-		det, out := n.detector.StartDetection(n.summary, c)
+		det, out := m.detector.StartDetection(m.summary, c)
 		if out.Kind == core.OutcomeForwarded {
 			started++
-			n.emit(trace.KindDetectionStart, "det=%s/%d candidate=%s", det.Origin, det.Seq, c)
+			m.emit(trace.KindDetectionStart, "det=%s/%d candidate=%s", det.Origin, det.Seq, c)
 		}
 	}
 	return started
 }
 
-// Summary returns the node's current summarized snapshot (nil before the
-// first summarization). The summary is immutable; callers may read it
-// without holding the node lock.
-func (n *Node) Summary() *snapshot.Summary {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.summary
-}
+// Summary returns the machine's current summarized snapshot (nil before
+// the first summarization). The summary is immutable.
+func (m *Machine) Summary() *snapshot.Summary { return m.summary }
 
-// detectorActions adapts Node to core.Actions. Methods are invoked by the
-// detector, which only runs under the node lock.
-type detectorActions Node
+// detectorActions adapts Machine to core.Actions. Methods are invoked by
+// the detector, which only runs inside the machine.
+type detectorActions Machine
 
 // SendCDMs implements core.Actions. The derivation is shared, unflattened,
 // by every outgoing message of the fan-out: in-process receivers merge it
 // directly and the codec flattens lazily if a message reaches a real socket.
 func (a *detectorActions) SendCDMs(det core.DetectionID, alongs []ids.RefID, alg core.Alg, hops int) {
-	n := (*Node)(a)
+	m := (*Machine)(a)
 	for _, along := range alongs {
-		n.send(along.Dst.Node, wire.NewCDMFromAlg(det, along, alg, hops))
+		m.send(along.Dst.Node, wire.NewCDMFromAlg(det, along, alg, hops))
 	}
 }
 
 // DeleteOwnScion implements core.Actions: the detector proved the scion
 // belongs to a distributed garbage cycle.
 func (a *detectorActions) DeleteOwnScion(ref ids.RefID) {
-	n := (*Node)(a)
-	if ref.Dst.Node != n.id {
+	m := (*Machine)(a)
+	if ref.Dst.Node != m.id {
 		return
 	}
-	n.table.DeleteScion(ref.Src, ref.Dst.Obj)
-	n.selector.Forget(ref)
-	n.emit(trace.KindScionDeleted, "ref=%s reason=cycle", ref)
+	m.table.DeleteScion(ref.Src, ref.Dst.Obj)
+	m.selector.Forget(ref)
+	m.emit(trace.KindScionDeleted, "ref=%s reason=cycle", ref)
 }
 
 // SendDeleteScion implements core.Actions (BroadcastDelete mode).
 func (a *detectorActions) SendDeleteScion(det core.DetectionID, ref ids.RefID) {
-	n := (*Node)(a)
-	n.send(ref.Dst.Node, &wire.DeleteScion{Det: det, Ref: ref})
+	m := (*Machine)(a)
+	m.send(ref.Dst.Node, &wire.DeleteScion{Det: det, Ref: ref})
 }

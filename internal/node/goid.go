@@ -1,0 +1,26 @@
+package node
+
+import "runtime"
+
+// goid returns the current goroutine's id by parsing the header line of
+// runtime.Stack ("goroutine N [running]:"). It is used only by the
+// callback re-entrancy guard: once when a user callback starts, and on a
+// public entry point only while some callback is in flight (the guard's
+// fast path is a single atomic load of zero). The parse allocates nothing.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	const prefix = "goroutine "
+	if len(s) <= len(prefix) {
+		return 0
+	}
+	var id uint64
+	for _, c := range s[len(prefix):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

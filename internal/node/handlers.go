@@ -7,40 +7,33 @@ import (
 	"dgc/internal/wire"
 )
 
-// HandleMessage is the transport delivery entry point. It dispatches every
-// protocol message under the node lock; unknown messages are ignored
-// (datagram semantics). Sends triggered by the handler (CDM fan-out,
-// acks, replies) are staged and flushed as a batch when the transport
-// supports it.
-func (n *Node) HandleMessage(from ids.NodeID, msg wire.Message) {
-	n.withStage(func() { n.dispatchMessage(from, msg) })
-}
-
-func (n *Node) dispatchMessage(from ids.NodeID, msg wire.Message) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-
-	switch m := msg.(type) {
+// HandleMessage feeds one delivered protocol message into the machine.
+// Unknown messages are ignored (datagram semantics). Any sends the message
+// triggers (CDM fan-out, acks, replies) accumulate as effects for the
+// driver to transmit.
+func (m *Machine) HandleMessage(from ids.NodeID, msg wire.Message) {
+	switch msg := msg.(type) {
 	case *wire.InvokeRequest:
-		n.handleInvokeRequest(m)
+		m.handleInvokeRequest(msg)
 	case *wire.InvokeReply:
-		n.handleInvokeReply(m)
+		m.handleInvokeReply(msg)
 	case *wire.CreateScion:
-		n.handleCreateScion(m)
+		m.handleCreateScion(msg)
 	case *wire.CreateScionAck:
-		n.handleCreateScionAck(m)
+		m.handleCreateScionAck(msg)
 	case *wire.NewSetStubs:
-		n.handleNewSetStubs(m)
+		m.handleNewSetStubs(msg)
 	case *wire.CDM:
-		n.handleCDM(m)
+		m.handleCDM(msg)
 	case *wire.DeleteScion:
-		n.detector.HandleDeleteScion(m.Ref)
+		m.detector.HandleDeleteScion(msg.Ref)
 	default:
 		// Baseline traffic and future kinds are not for this handler.
 	}
+	_ = from // sender identity travels inside each message
 }
 
-// handleCDM merges an arriving cycle detection message into the node's
+// handleCDM merges an arriving cycle detection message into the machine's
 // per-detection accumulated algebra and processes the union.
 //
 // Accumulation is the key to polynomial traffic on dense graphs: CDMs of
@@ -54,35 +47,35 @@ func (n *Node) dispatchMessage(from ids.NodeID, msg wire.Message) {
 // full): losing it repeats work but never affects safety, preserving the
 // paper's "no correctness-critical per-detection state at intermediate
 // processes" property.
-func (n *Node) handleCDM(m *wire.CDM) {
-	if _, aborted := n.cdmAborted[m.Det]; aborted {
-		n.stats.CDMsRaceDropped++
+func (m *Machine) handleCDM(msg *wire.CDM) {
+	if _, aborted := m.cdmAborted[msg.Det]; aborted {
+		m.stats.CDMsRaceDropped++
 		return
 	}
-	acc, ok := n.cdmAcc[m.Det]
+	acc, ok := m.cdmAcc[msg.Det]
 	if !ok {
-		if len(n.cdmAcc) >= cdmAccCap {
-			n.cdmAcc = make(map[core.DetectionID]*detAcc)
-			n.cdmAborted = make(map[core.DetectionID]struct{})
+		if len(m.cdmAcc) >= cdmAccCap {
+			m.cdmAcc = make(map[core.DetectionID]*detAcc)
+			m.cdmAborted = make(map[core.DetectionID]struct{})
 		}
 		acc = &detAcc{alg: core.NewAlg(), alongs: make(map[ids.RefID]struct{})}
-		n.cdmAcc[m.Det] = acc
+		m.cdmAcc[msg.Det] = acc
 	}
-	changed, conflict := m.MergeAlgInto(acc.alg)
+	changed, conflict := msg.MergeAlgInto(acc.alg)
 	if conflict {
-		n.stats.CDMsRaceDropped++
-		delete(n.cdmAcc, m.Det)
-		n.cdmAborted[m.Det] = struct{}{}
+		m.stats.CDMsRaceDropped++
+		delete(m.cdmAcc, msg.Det)
+		m.cdmAborted[msg.Det] = struct{}{}
 		return
 	}
-	_, knownAlong := acc.alongs[m.Along]
+	_, knownAlong := acc.alongs[msg.Along]
 	if !knownAlong {
-		acc.alongs[m.Along] = struct{}{}
-		acc.alongsSorted = append(acc.alongsSorted, m.Along)
+		acc.alongs[msg.Along] = struct{}{}
+		acc.alongsSorted = append(acc.alongsSorted, msg.Along)
 		ids.SortRefIDs(acc.alongsSorted)
 	}
 	if !changed && knownAlong {
-		n.stats.CDMsDeduped++
+		m.stats.CDMsDeduped++
 		return
 	}
 
@@ -91,13 +84,13 @@ func (n *Node) handleCDM(m *wire.CDM) {
 	// through the stubs reachable from the others, or converging paths
 	// would starve each other of the closure they jointly build.
 	for _, along := range acc.alongsSorted {
-		out := n.detector.HandleCDM(n.summary, m.Det, along, acc.alg, int(m.Hops))
-		if n.cfg.Trace != nil {
-			n.emit(trace.KindCDMHandled, "det=%s/%d along=%s outcome=%s entries=%d",
-				m.Det.Origin, m.Det.Seq, along, out.Kind, acc.alg.Len())
+		out := m.detector.HandleCDM(m.summary, msg.Det, along, acc.alg, int(msg.Hops))
+		if m.cfg.Trace != nil {
+			m.emit(trace.KindCDMHandled, "det=%s/%d along=%s outcome=%s entries=%d",
+				msg.Det.Origin, msg.Det.Seq, along, out.Kind, acc.alg.Len())
 			if out.Kind == core.OutcomeCycleFound {
-				n.emit(trace.KindCycleFound, "det=%s/%d scions=%d",
-					m.Det.Origin, m.Det.Seq, len(out.GarbageScions))
+				m.emit(trace.KindCycleFound, "det=%s/%d scions=%d",
+					msg.Det.Origin, msg.Det.Seq, len(out.GarbageScions))
 			}
 		}
 		if out.Kind == core.OutcomeForwarded && out.Derived != nil {
@@ -105,9 +98,9 @@ func (n *Node) handleCDM(m *wire.CDM) {
 			// expansions then recognize it and stop re-forwarding
 			// information every downstream node already has.
 			if _, conflict := acc.alg.Merge(*out.Derived); conflict {
-				n.stats.CDMsRaceDropped++
-				delete(n.cdmAcc, m.Det)
-				n.cdmAborted[m.Det] = struct{}{}
+				m.stats.CDMsRaceDropped++
+				delete(m.cdmAcc, msg.Det)
+				m.cdmAborted[msg.Det] = struct{}{}
 				return
 			}
 		}
@@ -119,17 +112,17 @@ func (n *Node) handleCDM(m *wire.CDM) {
 
 // handleNewSetStubs applies a reference-listing stub set: scions from the
 // sender not listed are deleted and the objects they protected become
-// eligible for the next local collection. Caller holds the lock.
-func (n *Node) handleNewSetStubs(m *wire.NewSetStubs) {
-	deleted := n.acyclic.ApplyStubSet(m.Set)
-	n.stats.StubSetsApplied++
+// eligible for the next local collection.
+func (m *Machine) handleNewSetStubs(msg *wire.NewSetStubs) {
+	deleted := m.acyclic.ApplyStubSet(msg.Set)
+	m.stats.StubSetsApplied++
 	if len(deleted) == 0 {
 		return
 	}
-	n.stats.ScionsDropped += uint64(len(deleted))
+	m.stats.ScionsDropped += uint64(len(deleted))
 	for _, sc := range deleted {
-		ref := sc.RefID(n.id)
-		n.selector.Forget(ref)
-		n.emit(trace.KindScionDeleted, "ref=%s reason=stub-set", ref)
+		ref := sc.RefID(m.id)
+		m.selector.Forget(ref)
+		m.emit(trace.KindScionDeleted, "ref=%s reason=stub-set", ref)
 	}
 }

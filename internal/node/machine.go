@@ -1,0 +1,299 @@
+package node
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dgc/internal/core"
+	"dgc/internal/heap"
+	"dgc/internal/ids"
+	"dgc/internal/lgc"
+	"dgc/internal/refs"
+	"dgc/internal/snapshot"
+	"dgc/internal/trace"
+	"dgc/internal/transport"
+	"dgc/internal/wire"
+)
+
+// Machine is the pure protocol core of one process: the object heap, the
+// local collector, the reference-listing tables and acyclic DGC, the
+// snapshot summarizer, the cycle detector and the remote-invocation
+// machinery — with no lock and no transport. Every input (a mutator
+// operation, an incoming wire message, a daemon run, a clock advance)
+// mutates the machine and accumulates its outputs as an explicit effect
+// list (outbound messages) that the driver drains with TakeEffects and
+// transmits however it likes.
+//
+// A Machine is NOT safe for concurrent use: a driver serializes inputs.
+// Two drivers are provided:
+//
+//   - Node: a mutex shell preserving the historical blocking API, used by
+//     the deterministic cluster simulator (and valid over any transport);
+//   - LiveRuntime: a mailbox goroutine with wall-clock daemon tickers and
+//     backpressure-aware sends, for real deployments over TCP.
+type Machine struct {
+	id       ids.NodeID
+	cfg      Config
+	heap     *heap.Heap
+	table    *refs.Table
+	acyclic  *refs.AcyclicDGC
+	lgc      *lgc.Collector
+	detector *core.Detector
+	selector *core.Selector
+	summary  *snapshot.Summary
+
+	clock        uint64
+	snapVersion  uint64
+	detectCursor uint64 // round-robin offset for bounded detection rounds
+
+	// sumHeapGen/sumTableGen record the heap and table mutation epochs at
+	// the last summary rebuild; while both still match, Summarize is a
+	// cache hit and skips re-encoding and re-summarizing.
+	sumHeapGen  uint64
+	sumTableGen uint64
+
+	methods map[string]Method
+
+	nextCallID   uint64
+	pendingCalls map[uint64]*pendingCall
+
+	nextExportID   uint64
+	pendingExports map[uint64]*pendingExport
+
+	// pins counts in-flight references that must keep their stubs across
+	// local collections (exported args, pending call targets).
+	pins map[ids.GlobalRef]int
+
+	// cdmAcc accumulates, per detection, the union of every CDM algebra
+	// delivered to this node together with the scions it arrived along
+	// (see handleCDM). cdmAborted marks detections whose accumulated view
+	// hit a counter conflict. Both are droppable cache state, cleared on
+	// each summarization and when the cap is hit.
+	cdmAcc     map[core.DetectionID]*detAcc
+	cdmAborted map[core.DetectionID]struct{}
+
+	stats Stats
+
+	// out accumulates the outbound-message effects of the current input.
+	// Drivers drain it with TakeEffects after every input they feed in.
+	out []transport.Envelope
+
+	// cbGoid holds the id of the goroutine currently executing a
+	// user-provided callback (Method handler, ReplyFunc, With body), zero
+	// otherwise. Drivers read it from other goroutines to turn callback
+	// re-entrance into a panic instead of a deadlock; hence atomic.
+	cbGoid atomic.Uint64
+}
+
+// detAcc is one detection's accumulated state at this node.
+type detAcc struct {
+	alg    core.Alg
+	alongs map[ids.RefID]struct{} // scions this detection arrived along
+	// alongsSorted caches the alongs set in canonical order; maintained
+	// incrementally so each delivery iterates without rebuilding it.
+	alongsSorted []ids.RefID
+}
+
+// cdmAccCap bounds the per-detection accumulator cache; overflowing flushes
+// it, which only costs repeated work.
+const cdmAccCap = 1 << 10
+
+type pendingCall struct {
+	target   ids.GlobalRef
+	pinned   []ids.GlobalRef
+	cb       ReplyFunc
+	deadline uint64 // clock tick after which the call expires (0 = never)
+}
+
+type pendingExport struct {
+	waiting int // outstanding CreateScion acks
+	failed  bool
+	errMsg  string
+	ready   func(ok bool, errMsg string) // continuation inside the machine
+}
+
+// NewMachine assembles the protocol core for process id.
+func NewMachine(id ids.NodeID, cfg Config) *Machine {
+	m := &Machine{
+		id:             id,
+		cfg:            cfg,
+		heap:           heap.New(id),
+		table:          refs.NewTable(id),
+		methods:        make(map[string]Method),
+		pendingCalls:   make(map[uint64]*pendingCall),
+		pendingExports: make(map[uint64]*pendingExport),
+		pins:           make(map[ids.GlobalRef]int),
+		cdmAcc:         make(map[core.DetectionID]*detAcc),
+		cdmAborted:     make(map[core.DetectionID]struct{}),
+	}
+	m.acyclic = refs.NewAcyclicDGC(m.table)
+	m.acyclic.EmptySetRepeats = cfg.EmptySetRepeats
+	m.lgc = lgc.New(m.heap, m.table)
+	m.selector = core.NewSelector(cfg.CandidateMinAge)
+	m.detector = core.NewDetector(id, cfg.Detector, (*detectorActions)(m))
+	registerBuiltins(m)
+	return m
+}
+
+// ID returns the process identifier.
+func (m *Machine) ID() ids.NodeID { return m.id }
+
+// TakeEffects returns the outbound messages accumulated since the last
+// call, transferring ownership to the caller (the machine starts a fresh
+// buffer). Drivers call it after every input and transmit the result; the
+// order of the slice is the order the protocol produced the sends in, which
+// deterministic drivers must preserve.
+func (m *Machine) TakeEffects() []transport.Envelope {
+	out := m.out
+	m.out = nil
+	return out
+}
+
+// send appends one outbound message effect.
+func (m *Machine) send(to ids.NodeID, msg wire.Message) {
+	m.out = append(m.out, transport.Envelope{To: to, Msg: msg})
+}
+
+// callback invokes a user-provided callback (Method handler, ReplyFunc,
+// AcquireRemote continuation, With body). While it runs, the machine
+// records the executing goroutine so driver entry points can detect
+// re-entrance — a callback calling back into the public Node/LiveRuntime
+// API, which would deadlock on the driver's lock or mailbox — and panic
+// with a diagnostic instead.
+func (m *Machine) callback(fn func()) {
+	prev := m.cbGoid.Load()
+	m.cbGoid.Store(goid())
+	defer m.cbGoid.Store(prev)
+	fn()
+}
+
+// guardReentry panics when called from the goroutine that is currently
+// executing one of this machine's user callbacks. entry names the public
+// method for the diagnostic.
+func (m *Machine) guardReentry(entry string) {
+	if g := m.cbGoid.Load(); g != 0 && g == goid() {
+		panic("node: " + entry + " re-entered from a Method/ReplyFunc/With callback; " +
+			"callbacks run inside the machine and must use the Mutator they were handed " +
+			"(m.Invoke, m.Store, ...) instead of calling public entry points, " +
+			"which would deadlock")
+	}
+}
+
+// Stats returns a copy of the machine's counters.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Clock = m.clock
+	s.Detector = m.detector.Stats
+	s.ExportsPending = uint64(len(m.pendingExports))
+	return s
+}
+
+// Clock returns the machine's logical time.
+func (m *Machine) Clock() uint64 { return m.clock }
+
+// NumObjects returns the current heap size.
+func (m *Machine) NumObjects() int { return m.heap.Len() }
+
+// NumScions returns the number of incoming-reference scions.
+func (m *Machine) NumScions() int { return m.table.NumScions() }
+
+// NumStubs returns the number of outgoing-reference stubs.
+func (m *Machine) NumStubs() int { return m.table.NumStubs() }
+
+// CloneHeap returns a deep copy of the machine's heap, for ground-truth
+// analysis by harnesses and tests.
+func (m *Machine) CloneHeap() *heap.Heap { return m.heap.Clone() }
+
+// ScionRefs returns the current scions as reference identifiers, in
+// canonical order.
+func (m *Machine) ScionRefs() []ids.RefID {
+	out := make([]ids.RefID, 0, m.table.NumScions())
+	for _, sc := range m.table.Scions() {
+		out = append(out, sc.RefID(m.id))
+	}
+	return out
+}
+
+// RegisterMethod installs (or replaces) a remotely invocable method.
+func (m *Machine) RegisterMethod(name string, fn Method) { m.methods[name] = fn }
+
+// With runs fn with a Mutator over this machine: the scenario-building and
+// method-handler entry point for direct heap manipulation.
+func (m *Machine) With(fn func(mut Mutator)) {
+	m.callback(func() { fn(Mutator{n: m}) })
+}
+
+// EnsureScionFor records an incoming reference from holder to the local
+// object obj: the owner half of a reference grant. Exposed for harness
+// bootstrap (cluster scenario construction); the protocol path is
+// CreateScion/Ack.
+func (m *Machine) EnsureScionFor(holder ids.NodeID, obj ids.ObjID) error {
+	if !m.heap.Contains(obj) {
+		return m.errf("EnsureScionFor: no object %d", obj)
+	}
+	if _, created := m.table.EnsureScion(holder, obj); created {
+		m.stats.ScionsCreated++
+	}
+	m.selector.Touch(ids.RefID{Src: holder, Dst: ids.GlobalRef{Node: m.id, Obj: obj}}, m.clock)
+	return nil
+}
+
+// HoldRemote makes the local object from hold the remote reference target,
+// materializing the stub: the holder half of a reference grant. The caller
+// must have arranged the owner's scion first (EnsureScionFor), preserving
+// scion-before-stub.
+func (m *Machine) HoldRemote(from ids.ObjID, target ids.GlobalRef) error {
+	if target.Node == m.id {
+		return m.heap.AddLocalRef(from, target.Obj)
+	}
+	if err := m.heap.AddRemoteRef(from, target); err != nil {
+		return err
+	}
+	m.table.EnsureStub(target)
+	return nil
+}
+
+// pin/unpin manage the in-flight reference set.
+func (m *Machine) pin(ref ids.GlobalRef) {
+	if ref.Node == m.id {
+		return // own objects are protected by scions/roots, not pins
+	}
+	m.pins[ref]++
+	// Materialize the stub immediately so the reference is valid.
+	m.table.EnsureStub(ref)
+}
+
+func (m *Machine) unpin(ref ids.GlobalRef) {
+	if ref.Node == m.id {
+		return
+	}
+	if c := m.pins[ref]; c <= 1 {
+		delete(m.pins, ref)
+	} else {
+		m.pins[ref] = c - 1
+	}
+}
+
+func (m *Machine) pinnedRefs() []ids.GlobalRef {
+	out := make([]ids.GlobalRef, 0, len(m.pins))
+	for r := range m.pins {
+		out = append(out, r)
+	}
+	ids.SortGlobalRefs(out)
+	return out
+}
+
+// errf is an internal invariant violation reporter.
+func (m *Machine) errf(format string, args ...any) error {
+	return fmt.Errorf("node %s: %s", m.id, fmt.Sprintf(format, args...))
+}
+
+// emit records a trace event when tracing is configured. The trace log is
+// an order-preserving, lock-protected in-memory sink, not transport I/O,
+// so the machine writes it directly rather than routing it through the
+// effect list.
+func (m *Machine) emit(kind trace.Kind, format string, args ...any) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.Emit(m.id, kind, format, args...)
+	}
+}

@@ -1,0 +1,154 @@
+package node
+
+import (
+	"strings"
+	"testing"
+
+	"dgc/internal/ids"
+	"dgc/internal/wire"
+)
+
+// The Machine is driven here with no transport and no driver at all: every
+// input mutates state and accumulates outbound messages as effects, which
+// the test inspects directly.
+
+func TestMachineAccumulatesSendEffects(t *testing.T) {
+	m := NewMachine("A", Config{})
+	var obj ids.ObjID
+	m.With(func(mut Mutator) {
+		obj = mut.Alloc(nil)
+		if err := mut.Root(obj); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := m.HoldRemote(obj, ids.GlobalRef{Node: "B", Obj: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if outs := m.TakeEffects(); len(outs) != 0 {
+		t.Fatalf("pure mutation produced %d sends", len(outs))
+	}
+
+	// A local collection must emit the reference-listing stub set to B.
+	m.RunLGC()
+	outs := m.TakeEffects()
+	if len(outs) == 0 {
+		t.Fatal("RunLGC produced no effects despite a remote reference")
+	}
+	found := false
+	for _, o := range outs {
+		if o.To == "B" {
+			if _, ok := o.Msg.(*wire.NewSetStubs); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no NewSetStubs to B in effects: %v", outs)
+	}
+	// TakeEffects transfers ownership: the buffer starts fresh.
+	if rest := m.TakeEffects(); len(rest) != 0 {
+		t.Fatalf("second TakeEffects returned %d messages", len(rest))
+	}
+}
+
+func TestMachineHandleMessageEffects(t *testing.T) {
+	m := NewMachine("B", Config{})
+	var obj ids.ObjID
+	m.With(func(mut Mutator) { obj = mut.Alloc(nil) })
+	m.TakeEffects()
+
+	m.HandleMessage("A", &wire.CreateScion{ExportID: 7, From: "A", Holder: "A", Obj: obj})
+	outs := m.TakeEffects()
+	if len(outs) != 1 || outs[0].To != "A" {
+		t.Fatalf("effects = %v, want one ack to A", outs)
+	}
+	ack, ok := outs[0].Msg.(*wire.CreateScionAck)
+	if !ok || !ack.OK || ack.ExportID != 7 {
+		t.Fatalf("ack = %+v", outs[0].Msg)
+	}
+	if m.NumScions() != 1 {
+		t.Fatalf("scions = %d", m.NumScions())
+	}
+}
+
+// The re-entrancy guard turns what used to be a silent deadlock — a Method
+// handler, ReplyFunc or With body calling back into a public driver entry
+// point — into an immediate panic with a diagnostic.
+
+func mustPanicReentered(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("re-entrant call did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "re-entered") {
+			t.Fatalf("panic = %v, want re-entry diagnostic", r)
+		}
+	}()
+	fn()
+}
+
+func TestReentryGuardWithBlock(t *testing.T) {
+	n := New("A", nil, Config{})
+	mustPanicReentered(t, func() {
+		n.With(func(Mutator) { n.NumObjects() })
+	})
+}
+
+func TestReentryGuardMethodHandler(t *testing.T) {
+	tn := newTestNet(t, Config{}, "A", "B")
+	a, b := tn.n("A"), tn.n("B")
+	caller := allocRooted(t, a)
+	target := allocRooted(t, b)
+	b.RegisterMethod("bad", func(Mutator, ids.ObjID, []ids.GlobalRef) []ids.GlobalRef {
+		b.Tick() // illegal: public entry point from inside the machine
+		return nil
+	})
+	tn.grant("A", caller, "B", target)
+	if err := a.Invoke(ids.GlobalRef{Node: "B", Obj: target}, "bad", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	mustPanicReentered(t, func() { tn.settle() })
+}
+
+func TestReentryGuardReplyFunc(t *testing.T) {
+	tn := newTestNet(t, Config{}, "A", "B")
+	a, b := tn.n("A"), tn.n("B")
+	caller := allocRooted(t, a)
+	target := allocRooted(t, b)
+	tn.grant("A", caller, "B", target)
+	err := a.Invoke(ids.GlobalRef{Node: "B", Obj: target}, "noop", nil,
+		func(Mutator, Reply) { a.Stats() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanicReentered(t, func() { tn.settle() })
+}
+
+func TestGuardAllowsMutatorInvoke(t *testing.T) {
+	// The sanctioned path — Mutator.Invoke from callback context — must not
+	// trip the guard.
+	tn := newTestNet(t, Config{}, "A", "B")
+	a, b := tn.n("A"), tn.n("B")
+	caller := allocRooted(t, a)
+	target := allocRooted(t, b)
+	tn.grant("A", caller, "B", target)
+	got := false
+	err := a.Invoke(ids.GlobalRef{Node: "B", Obj: target}, "noop", nil,
+		func(m Mutator, r Reply) {
+			if !r.OK {
+				t.Errorf("first call failed: %s", r.Err)
+			}
+			_ = m.Invoke(ids.GlobalRef{Node: "B", Obj: target}, "noop", nil,
+				func(_ Mutator, r2 Reply) { got = r2.OK })
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.settle()
+	if !got {
+		t.Fatal("chained Mutator.Invoke did not complete")
+	}
+}

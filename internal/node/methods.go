@@ -17,7 +17,7 @@ import (
 //	get             — returns every reference held by the target object.
 //	alloc-child     — allocates a fresh object, links it from the target,
 //	                  and returns its reference.
-func registerBuiltins(n *Node) {
+func registerBuiltins(n *Machine) {
 	n.methods["noop"] = func(Mutator, ids.ObjID, []ids.GlobalRef) []ids.GlobalRef {
 		return nil
 	}

@@ -4,16 +4,19 @@ import (
 	"dgc/internal/ids"
 )
 
-// Mutator is the application's view of a node's heap. Mutator values are
-// only handed out with the node lock held (via Node.With, method handlers
-// and reply callbacks) so their operations need no further locking.
+// Mutator is the application's view of a process's heap. Mutator values
+// are only handed out inside the machine (via With, method handlers and
+// reply callbacks), where inputs are already serialized by the driver, so
+// their operations need no further locking. Code holding a Mutator must
+// not call public Node or LiveRuntime methods — use the Mutator's own
+// operations (the re-entrancy guard panics on violations).
 //
 // The distributed-GC invariants enforced here mirror the paper's remoting
 // instrumentation: storing a remote reference requires the process to
 // actually hold it (a stub exists — obtained through import, invocation
 // results or an explicit Acquire), so reference listing stays sound.
 type Mutator struct {
-	n *Node
+	n *Machine
 }
 
 // Node returns the identifier of the mutated process.
@@ -99,7 +102,8 @@ func (m Mutator) SetPayload(obj ids.ObjID, payload []byte) error {
 }
 
 // Invoke starts a remote invocation from within a handler or With block.
-// See Node.Invoke for the semantics; this variant assumes the lock is held.
+// See Machine.Invoke for the semantics; this variant runs inside the
+// machine and is the ONLY legal way to invoke from callback context.
 func (m Mutator) Invoke(target ids.GlobalRef, method string, args []ids.GlobalRef, cb ReplyFunc) error {
-	return m.n.invokeLocked(target, method, args, cb)
+	return m.n.Invoke(target, method, args, cb)
 }

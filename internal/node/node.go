@@ -1,29 +1,35 @@
-// Package node assembles one simulated process of the distributed system:
-// an object heap, the local garbage collector, the reference-listing tables
-// and acyclic DGC, the snapshot summarizer, the cycle detector, and the
+// Package node assembles one process of the distributed system: an object
+// heap, the local garbage collector, the reference-listing tables and
+// acyclic DGC, the snapshot summarizer, the cycle detector, and the
 // remote-invocation machinery — everything the paper's Rotor/OBIWAN
 // implementations instrument, reproduced over a message transport.
 //
-// A Node is driven from two sides:
+// The package is split functional-core / imperative-shell:
 //
-//   - the mutator: application code allocating objects, mutating references
-//     and performing remote invocations (Invoke / builtin methods);
-//   - the collector daemons: RunLGC, Summarize and RunDetection, invoked
-//     periodically by Tick (or explicitly by tests).
-//
-// All entry points serialize on one mutex, making the node an actor whose
-// messages may arrive from any transport goroutine.
+//   - Machine is the pure protocol state machine. Every input — a mutator
+//     operation, an incoming wire message, a daemon run, a clock advance —
+//     mutates machine state and accumulates explicit effects (outbound
+//     messages) instead of touching a transport. Machines are driven
+//     single-threaded and are trivially testable without any network.
+//   - Node (this file) is the mutex driver: it serializes inputs from any
+//     goroutine, drains the machine's effects and transmits them after the
+//     lock is released. The deterministic cluster simulator drives Nodes in
+//     its canonical schedule; because effects are transmitted in exactly
+//     the order the machine produced them, schedules, fabric counters and
+//     the fault-RNG stream are bit-identical to the historical big-lock
+//     implementation.
+//   - LiveRuntime (runtime.go) is the wall-clock driver: a mailbox
+//     goroutine per node with bounded queueing and periodic daemon tickers,
+//     for real deployments.
 package node
 
 import (
-	"fmt"
 	"sync"
 
 	"dgc/internal/core"
 	"dgc/internal/heap"
 	"dgc/internal/ids"
 	"dgc/internal/lgc"
-	"dgc/internal/refs"
 	"dgc/internal/snapshot"
 	"dgc/internal/trace"
 	"dgc/internal/transport"
@@ -97,205 +103,149 @@ type Reply struct {
 	Returns []ids.GlobalRef
 }
 
-// ReplyFunc consumes an invocation result. It is called with the node lock
-// held; implementations may use the Mutator passed alongside but must not
-// call public Node methods.
+// ReplyFunc consumes an invocation result. It is called inside the machine;
+// implementations may use the Mutator passed alongside but must not call
+// public Node (or LiveRuntime) methods — the re-entrancy guard panics on
+// violations, which would otherwise deadlock.
 type ReplyFunc func(m Mutator, r Reply)
 
-// Method implements a remotely invocable method. It runs with the node lock
-// held and receives a Mutator for heap access, the invoked object and the
+// Method implements a remotely invocable method. It runs inside the machine
+// and receives a Mutator for heap access, the invoked object and the
 // imported argument references. Returned references are exported back to
-// the caller.
+// the caller. Like ReplyFunc, it must not re-enter public driver methods.
 type Method func(m Mutator, self ids.ObjID, args []ids.GlobalRef) []ids.GlobalRef
 
-// Node is one process of the distributed system.
+// Node is the mutex driver over a Machine: one process of the distributed
+// system with a blocking, goroutine-safe API. Inputs serialize on one
+// mutex; the machine's outbound-message effects are transmitted on the
+// caller's goroutine after the lock is released, so the transport is never
+// entered under the lock.
 type Node struct {
-	mu sync.Mutex
-
-	id       ids.NodeID
-	cfg      Config
-	heap     *heap.Heap
-	table    *refs.Table
-	acyclic  *refs.AcyclicDGC
-	lgc      *lgc.Collector
-	detector *core.Detector
-	selector *core.Selector
-	summary  *snapshot.Summary
-	ep       transport.Endpoint
-
-	clock        uint64
-	snapVersion  uint64
-	detectCursor uint64 // round-robin offset for bounded detection rounds
-
-	// sumHeapGen/sumTableGen record the heap and table mutation epochs at
-	// the last summary rebuild; while both still match, Summarize is a
-	// cache hit and skips re-encoding and re-summarizing.
-	sumHeapGen  uint64
-	sumTableGen uint64
-
-	methods map[string]Method
-
-	nextCallID   uint64
-	pendingCalls map[uint64]*pendingCall
-
-	nextExportID   uint64
-	pendingExports map[uint64]*pendingExport
-
-	// pins counts in-flight references that must keep their stubs across
-	// local collections (exported args, pending call targets).
-	pins map[ids.GlobalRef]int
-
-	// cdmAcc accumulates, per detection, the union of every CDM algebra
-	// delivered to this node together with the scions it arrived along
-	// (see handleCDM). cdmAborted marks detections whose accumulated view
-	// hit a counter conflict. Both are droppable cache state, cleared on
-	// each summarization and when the cap is hit.
-	cdmAcc     map[core.DetectionID]*detAcc
-	cdmAborted map[core.DetectionID]struct{}
-
-	stats Stats
-}
-
-// detAcc is one detection's accumulated state at this node.
-type detAcc struct {
-	alg    core.Alg
-	alongs map[ids.RefID]struct{} // scions this detection arrived along
-	// alongsSorted caches the alongs set in canonical order; maintained
-	// incrementally so each delivery iterates without rebuilding it.
-	alongsSorted []ids.RefID
-}
-
-// cdmAccCap bounds the per-detection accumulator cache; overflowing flushes
-// it, which only costs repeated work.
-const cdmAccCap = 1 << 10
-
-type pendingCall struct {
-	target   ids.GlobalRef
-	pinned   []ids.GlobalRef
-	cb       ReplyFunc
-	deadline uint64 // clock tick after which the call expires (0 = never)
-}
-
-type pendingExport struct {
-	waiting int // outstanding CreateScion acks
-	failed  bool
-	errMsg  string
-	ready   func(ok bool, errMsg string) // continuation under lock
+	mu   sync.Mutex
+	mach *Machine
+	ep   transport.Endpoint
 }
 
 // New assembles a node over the given endpoint and installs its message
 // handler. The endpoint must not deliver messages before New returns.
 func New(id ids.NodeID, ep transport.Endpoint, cfg Config) *Node {
-	n := &Node{
-		id:             id,
-		cfg:            cfg,
-		heap:           heap.New(id),
-		table:          refs.NewTable(id),
-		ep:             ep,
-		methods:        make(map[string]Method),
-		pendingCalls:   make(map[uint64]*pendingCall),
-		pendingExports: make(map[uint64]*pendingExport),
-		pins:           make(map[ids.GlobalRef]int),
-		cdmAcc:         make(map[core.DetectionID]*detAcc),
-		cdmAborted:     make(map[core.DetectionID]struct{}),
-	}
-	n.acyclic = refs.NewAcyclicDGC(n.table)
-	n.acyclic.EmptySetRepeats = cfg.EmptySetRepeats
-	n.lgc = lgc.New(n.heap, n.table)
-	n.selector = core.NewSelector(cfg.CandidateMinAge)
-	n.detector = core.NewDetector(id, cfg.Detector, (*detectorActions)(n))
-	registerBuiltins(n)
+	n := &Node{mach: NewMachine(id, cfg), ep: ep}
 	if ep != nil {
 		ep.SetHandler(n.HandleMessage)
 	}
 	return n
 }
 
+// Machine exposes the underlying protocol machine. The caller must not use
+// it concurrently with the node's own entry points; it is meant for
+// drivers and tests that take over scheduling entirely.
+func (n *Node) Machine() *Machine { return n.mach }
+
+// step runs one machine input under the node lock and transmits the
+// resulting effects after the lock is released.
+func (n *Node) step(entry string, fn func(m *Machine)) {
+	n.mach.guardReentry(entry)
+	n.mu.Lock()
+	fn(n.mach)
+	outs := n.mach.TakeEffects()
+	n.mu.Unlock()
+	n.transmit(outs)
+}
+
+// transmit performs the machine's effect sends, in order, bracketing
+// multi-message bursts with transport staging when available (the TCP
+// endpoint ships them as one batch frame per peer). Send errors are
+// deliberately ignored: every protocol layer above tolerates message loss.
+func (n *Node) transmit(outs []transport.Envelope) {
+	if len(outs) == 0 || n.ep == nil {
+		return
+	}
+	if st, ok := n.ep.(transport.Stager); ok && len(outs) > 1 {
+		st.BeginStage()
+		defer st.FlushStage(nil)
+	}
+	for _, o := range outs {
+		_ = n.ep.Send(o.To, o.Msg)
+	}
+}
+
+// HandleMessage is the transport delivery entry point: it feeds the message
+// to the machine and returns the machine's response sends for the transport
+// to transmit (the effect contract of transport.Handler).
+func (n *Node) HandleMessage(from ids.NodeID, msg wire.Message) []transport.Envelope {
+	n.mach.guardReentry("HandleMessage")
+	n.mu.Lock()
+	n.mach.HandleMessage(from, msg)
+	outs := n.mach.TakeEffects()
+	n.mu.Unlock()
+	return outs
+}
+
 // ID returns the node identifier.
-func (n *Node) ID() ids.NodeID { return n.id }
+func (n *Node) ID() ids.NodeID { return n.mach.ID() }
 
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	s := n.stats
-	s.Clock = n.clock
-	s.Detector = n.detector.Stats
-	s.ExportsPending = uint64(len(n.pendingExports))
+	var s Stats
+	n.step("Stats", func(m *Machine) { s = m.Stats() })
 	return s
 }
 
 // NumObjects returns the current heap size.
 func (n *Node) NumObjects() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.heap.Len()
+	var v int
+	n.step("NumObjects", func(m *Machine) { v = m.NumObjects() })
+	return v
 }
 
-// NumScions and NumStubs expose table sizes.
+// NumScions returns the number of incoming-reference scions.
 func (n *Node) NumScions() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.table.NumScions()
+	var v int
+	n.step("NumScions", func(m *Machine) { v = m.NumScions() })
+	return v
 }
 
 // NumStubs returns the number of outgoing-reference stubs.
 func (n *Node) NumStubs() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.table.NumStubs()
+	var v int
+	n.step("NumStubs", func(m *Machine) { v = m.NumStubs() })
+	return v
 }
 
 // CloneHeap returns a deep copy of the node's heap, for ground-truth
 // analysis by harnesses and tests.
 func (n *Node) CloneHeap() *heap.Heap {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.heap.Clone()
+	var h *heap.Heap
+	n.step("CloneHeap", func(m *Machine) { h = m.CloneHeap() })
+	return h
 }
 
 // ScionRefs returns the node's current scions as reference identifiers, in
 // canonical order.
 func (n *Node) ScionRefs() []ids.RefID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]ids.RefID, 0, n.table.NumScions())
-	for _, sc := range n.table.Scions() {
-		out = append(out, sc.RefID(n.id))
-	}
+	var out []ids.RefID
+	n.step("ScionRefs", func(m *Machine) { out = m.ScionRefs() })
 	return out
 }
 
 // RegisterMethod installs (or replaces) a remotely invocable method.
-func (n *Node) RegisterMethod(name string, m Method) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.methods[name] = m
+func (n *Node) RegisterMethod(name string, fn Method) {
+	n.step("RegisterMethod", func(m *Machine) { m.RegisterMethod(name, fn) })
 }
 
 // With runs fn under the node lock with a Mutator: the scenario-building and
 // method-handler entry point for direct heap manipulation.
 func (n *Node) With(fn func(m Mutator)) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	fn(Mutator{n: n})
+	n.step("With", func(m *Machine) { m.With(fn) })
 }
 
 // EnsureScionFor records an incoming reference from holder to the local
-// object obj: the owner half of a reference grant. Exposed for harness
-// bootstrap (cluster scenario construction); the protocol path is
-// CreateScion/Ack.
+// object obj: the owner half of a reference grant (harness bootstrap; the
+// protocol path is CreateScion/Ack).
 func (n *Node) EnsureScionFor(holder ids.NodeID, obj ids.ObjID) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if !n.heap.Contains(obj) {
-		return n.errf("EnsureScionFor: no object %d", obj)
-	}
-	if _, created := n.table.EnsureScion(holder, obj); created {
-		n.stats.ScionsCreated++
-	}
-	n.selector.Touch(ids.RefID{Src: holder, Dst: ids.GlobalRef{Node: n.id, Obj: obj}}, n.clock)
-	return nil
+	var err error
+	n.step("EnsureScionFor", func(m *Machine) { err = m.EnsureScionFor(holder, obj) })
+	return err
 }
 
 // HoldRemote makes the local object from hold the remote reference target,
@@ -303,81 +253,96 @@ func (n *Node) EnsureScionFor(holder ids.NodeID, obj ids.ObjID) error {
 // must have arranged the owner's scion first (EnsureScionFor), preserving
 // scion-before-stub.
 func (n *Node) HoldRemote(from ids.ObjID, target ids.GlobalRef) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if target.Node == n.id {
-		return n.heap.AddLocalRef(from, target.Obj)
-	}
-	if err := n.heap.AddRemoteRef(from, target); err != nil {
-		return err
-	}
-	n.table.EnsureStub(target)
-	return nil
+	var err error
+	n.step("HoldRemote", func(m *Machine) { err = m.HoldRemote(from, target) })
+	return err
 }
 
-// pin/unpin manage the in-flight reference set.
-func (n *Node) pin(ref ids.GlobalRef) {
-	if ref.Node == n.id {
-		return // own objects are protected by scions/roots, not pins
-	}
-	n.pins[ref]++
-	// Materialize the stub immediately so the reference is valid.
-	n.table.EnsureStub(ref)
+// Tick advances the node's logical clock by one, expires timed-out calls
+// and runs the periodic daemons configured in Config.
+func (n *Node) Tick() {
+	n.step("Tick", func(m *Machine) { m.Tick() })
 }
 
-func (n *Node) unpin(ref ids.GlobalRef) {
-	if ref.Node == n.id {
-		return
-	}
-	if c := n.pins[ref]; c <= 1 {
-		delete(n.pins, ref)
-	} else {
-		n.pins[ref] = c - 1
-	}
+// Clock returns the node's logical time.
+func (n *Node) Clock() uint64 {
+	var v uint64
+	n.step("Clock", func(m *Machine) { v = m.Clock() })
+	return v
 }
 
-func (n *Node) pinnedRefs() []ids.GlobalRef {
-	out := make([]ids.GlobalRef, 0, len(n.pins))
-	for r := range n.pins {
-		out = append(out, r)
-	}
-	ids.SortGlobalRefs(out)
-	return out
+// RunLGC performs one local collection and emits NewSetStubs messages.
+func (n *Node) RunLGC() lgc.Result {
+	var res lgc.Result
+	n.step("RunLGC", func(m *Machine) { res = m.RunLGC() })
+	return res
 }
 
-// withStage runs fn with the endpoint's send staging bracketed around it,
-// when the endpoint supports staging (the TCP transport: a burst of sends —
-// a GC tick's CDMs, a CDM fan-out — then goes out as one batch frame per
-// peer). The inproc endpoint deliberately does not implement Stager; its
-// staging belongs to the cluster scheduler, which brackets whole phases on
-// the Network itself. fn must take the node lock itself: staged flushing
-// happens after fn returns, outside the lock, so handlers running in the
-// flush path can re-enter the node.
-func (n *Node) withStage(fn func()) {
-	if st, ok := n.ep.(transport.Stager); ok {
-		st.BeginStage()
-		defer st.FlushStage(nil)
-	}
-	fn()
+// Summarize takes a snapshot of the object graph and rebuilds the node's
+// summarized graph description (§3 "Graph Summarization").
+func (n *Node) Summarize() error {
+	var err error
+	n.step("Summarize", func(m *Machine) { err = m.Summarize() })
+	return err
 }
 
-func (n *Node) send(to ids.NodeID, msg wire.Message) {
-	if n.ep == nil {
-		return
-	}
-	// Errors are deliberately ignored: every protocol layer above tolerates
-	// message loss.
-	_ = n.ep.Send(to, msg)
+// RunDetection nominates cycle candidates from the current summary and
+// starts detections, up to Config.MaxDetectionsPerRound. It returns the
+// number started.
+func (n *Node) RunDetection() int {
+	var started int
+	n.step("RunDetection", func(m *Machine) { started = m.RunDetection() })
+	return started
 }
 
-// fail is an internal invariant violation reporter.
-func (n *Node) errf(format string, args ...any) error {
-	return fmt.Errorf("node %s: %s", n.id, fmt.Sprintf(format, args...))
+// Summary returns the node's current summarized snapshot (nil before the
+// first summarization). The summary is immutable; callers may read it
+// without holding the node lock.
+func (n *Node) Summary() *snapshot.Summary {
+	var s *snapshot.Summary
+	n.step("Summary", func(m *Machine) { s = m.summary })
+	return s
 }
 
-// emit records a trace event when tracing is configured.
-func (n *Node) emit(kind trace.Kind, format string, args ...any) {
-	if n.cfg.Trace != nil {
-		n.cfg.Trace.Emit(n.id, kind, format, args...)
+// Invoke performs an asynchronous remote invocation of method on target,
+// exporting args to the callee. cb (optional) receives the reply inside the
+// machine. Invoke returns an error only for immediately detectable misuse;
+// transport failures surface as a failed or expired reply.
+func (n *Node) Invoke(target ids.GlobalRef, method string, args []ids.GlobalRef, cb ReplyFunc) error {
+	var err error
+	n.step("Invoke", func(m *Machine) { err = m.Invoke(target, method, args, cb) })
+	return err
+}
+
+// AcquireRemote bootstraps possession of a remote reference: it runs the
+// CreateScion protocol with the owner on this node's behalf and, once
+// acknowledged, materializes a stub and invokes cb. See Machine.AcquireRemote.
+func (n *Node) AcquireRemote(ref ids.GlobalRef, cb func(m Mutator, ok bool)) error {
+	var err error
+	n.step("AcquireRemote", func(m *Machine) { err = m.AcquireRemote(ref, cb) })
+	return err
+}
+
+// Save serializes the node's durable collector state.
+func (n *Node) Save() ([]byte, error) {
+	var data []byte
+	var err error
+	n.step("Save", func(m *Machine) { data, err = m.Save() })
+	return data, err
+}
+
+// Restore reconstructs a node from state produced by Save, attaching it to
+// the given endpoint with the given configuration. The node resumes as if
+// it had merely been slow: peers' reference-listing state remains valid,
+// in-flight detections involving it abort safely and restart later.
+func Restore(ep transport.Endpoint, cfg Config, data []byte) (*Node, error) {
+	mach, err := RestoreMachine(cfg, data)
+	if err != nil {
+		return nil, err
 	}
+	n := &Node{mach: mach, ep: ep}
+	if ep != nil {
+		ep.SetHandler(n.HandleMessage)
+	}
+	return n, nil
 }

@@ -8,10 +8,9 @@ import (
 	"dgc/internal/lgc"
 	"dgc/internal/refs"
 	"dgc/internal/snapshot"
-	"dgc/internal/transport"
 )
 
-// Persistence: a node's collector state can be saved and restored across
+// Persistence: a machine's collector state can be saved and restored across
 // process restarts — the setting that motivates the paper ("when
 // considering persistence, distributed garbage simply accumulates over
 // time"). The persisted state is
@@ -34,34 +33,31 @@ import (
 
 const persistMagic = "DGCN\x01"
 
-// Save serializes the node's durable collector state.
-func (n *Node) Save() ([]byte, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-
-	heapBlob, err := (snapshot.BinaryCodec{}).Encode(n.heap)
+// Save serializes the machine's durable collector state.
+func (m *Machine) Save() ([]byte, error) {
+	heapBlob, err := (snapshot.BinaryCodec{}).Encode(m.heap)
 	if err != nil {
-		return nil, n.errf("Save: heap: %v", err)
+		return nil, m.errf("Save: heap: %v", err)
 	}
 
 	buf := make([]byte, 0, len(heapBlob)+1024)
 	buf = append(buf, persistMagic...)
-	buf = putPStr(buf, string(n.id))
-	buf = binary.AppendUvarint(buf, n.clock)
-	buf = binary.AppendUvarint(buf, n.snapVersion)
-	buf = binary.AppendUvarint(buf, n.detectCursor)
+	buf = putPStr(buf, string(m.id))
+	buf = binary.AppendUvarint(buf, m.clock)
+	buf = binary.AppendUvarint(buf, m.snapVersion)
+	buf = binary.AppendUvarint(buf, m.detectCursor)
 
 	buf = binary.AppendUvarint(buf, uint64(len(heapBlob)))
 	buf = append(buf, heapBlob...)
 
-	stubs := n.table.Stubs()
+	stubs := m.table.Stubs()
 	buf = binary.AppendUvarint(buf, uint64(len(stubs)))
 	for _, s := range stubs {
 		buf = putPStr(buf, string(s.Target.Node))
 		buf = binary.AppendUvarint(buf, uint64(s.Target.Obj))
 		buf = binary.AppendUvarint(buf, s.IC)
 	}
-	scions := n.table.Scions()
+	scions := m.table.Scions()
 	buf = binary.AppendUvarint(buf, uint64(len(scions)))
 	for _, s := range scions {
 		buf = putPStr(buf, string(s.Src))
@@ -69,7 +65,7 @@ func (n *Node) Save() ([]byte, error) {
 		buf = binary.AppendUvarint(buf, s.IC)
 	}
 
-	out, in := n.acyclic.SeqState()
+	out, in := m.acyclic.SeqState()
 	for _, entries := range [][]refs.SeqEntry{out, in} {
 		buf = binary.AppendUvarint(buf, uint64(len(entries)))
 		for _, e := range entries {
@@ -80,11 +76,12 @@ func (n *Node) Save() ([]byte, error) {
 	return buf, nil
 }
 
-// Restore reconstructs a node from state produced by Save, attaching it to
-// the given endpoint with the given configuration. The node resumes as if
-// it had merely been slow: peers' reference-listing state remains valid,
-// in-flight detections involving it abort safely and restart later.
-func Restore(ep transport.Endpoint, cfg Config, data []byte) (*Node, error) {
+// RestoreMachine reconstructs a protocol machine from state produced by
+// Save. The machine resumes as if its process had merely been slow: peers'
+// reference-listing state remains valid, in-flight detections involving it
+// abort safely and restart later. Wrap the result in a driver (Restore for
+// a Node shell, RestoreLiveRuntime for the wall-clock runtime).
+func RestoreMachine(cfg Config, data []byte) (*Machine, error) {
 	r := &pReader{data: data}
 	if string(r.bytes(len(persistMagic))) != persistMagic {
 		return nil, fmt.Errorf("node: Restore: bad magic")
@@ -110,25 +107,23 @@ func Restore(ep transport.Endpoint, cfg Config, data []byte) (*Node, error) {
 		return nil, fmt.Errorf("node: Restore: heap belongs to %s, state to %s", h.Node(), id)
 	}
 
-	n := New(id, ep, cfg)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.clock = clock
-	n.snapVersion = snapVersion
-	n.detectCursor = detectCursor
-	n.heap = h
-	n.lgc = lgc.New(n.heap, n.table)
+	m := NewMachine(id, cfg)
+	m.clock = clock
+	m.snapVersion = snapVersion
+	m.detectCursor = detectCursor
+	m.heap = h
+	m.lgc = lgc.New(m.heap, m.table)
 
 	nStubs := r.count()
 	for i := 0; i < nStubs && r.err == nil; i++ {
 		tgt := ids.GlobalRef{Node: ids.NodeID(r.str()), Obj: ids.ObjID(r.uvarint())}
-		n.table.RestoreStub(tgt, r.uvarint())
+		m.table.RestoreStub(tgt, r.uvarint())
 	}
 	nScions := r.count()
 	for i := 0; i < nScions && r.err == nil; i++ {
 		src := ids.NodeID(r.str())
 		obj := ids.ObjID(r.uvarint())
-		n.table.RestoreScion(src, obj, r.uvarint())
+		m.table.RestoreScion(src, obj, r.uvarint())
 	}
 
 	var seqs [2][]refs.SeqEntry
@@ -144,8 +139,8 @@ func Restore(ep transport.Endpoint, cfg Config, data []byte) (*Node, error) {
 	if r.pos != len(data) {
 		return nil, fmt.Errorf("node: Restore: %d trailing bytes", len(data)-r.pos)
 	}
-	n.acyclic.RestoreSeqState(seqs[0], seqs[1])
-	return n, nil
+	m.acyclic.RestoreSeqState(seqs[0], seqs[1])
+	return m, nil
 }
 
 // ---- tiny binary helpers (persist format only) ----

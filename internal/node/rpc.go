@@ -18,32 +18,26 @@ import (
 // instrumentation gets this for free from the thread stack).
 
 // Invoke performs an asynchronous remote invocation of method on target,
-// exporting args to the callee. cb (optional) receives the reply under the
-// node lock. Invoke returns an error only for immediately detectable
+// exporting args to the callee. cb (optional) receives the reply inside
+// the machine. Invoke returns an error only for immediately detectable
 // misuse; transport failures surface as a failed or expired reply.
-func (n *Node) Invoke(target ids.GlobalRef, method string, args []ids.GlobalRef, cb ReplyFunc) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.invokeLocked(target, method, args, cb)
-}
-
-func (n *Node) invokeLocked(target ids.GlobalRef, method string, args []ids.GlobalRef, cb ReplyFunc) error {
-	if target.Node == n.id {
-		return n.errf("Invoke: target %v is local", target)
+func (m *Machine) Invoke(target ids.GlobalRef, method string, args []ids.GlobalRef, cb ReplyFunc) error {
+	if target.Node == m.id {
+		return m.errf("Invoke: target %v is local", target)
 	}
-	if !n.cfg.DisableDGC {
-		if n.table.Stub(target) == nil && n.pins[target] == 0 {
-			return n.errf("Invoke: reference %v not held by this process", target)
+	if !m.cfg.DisableDGC {
+		if m.table.Stub(target) == nil && m.pins[target] == 0 {
+			return m.errf("Invoke: reference %v not held by this process", target)
 		}
 		for _, a := range args {
-			if a.Node == n.id {
-				if !n.heap.Contains(a.Obj) {
-					return n.errf("Invoke: exported object %d does not exist", a.Obj)
+			if a.Node == m.id {
+				if !m.heap.Contains(a.Obj) {
+					return m.errf("Invoke: exported object %d does not exist", a.Obj)
 				}
 				continue
 			}
-			if n.table.Stub(a) == nil && n.pins[a] == 0 {
-				return n.errf("Invoke: exported reference %v not held", a)
+			if m.table.Stub(a) == nil && m.pins[a] == 0 {
+				return m.errf("Invoke: exported reference %v not held", a)
 			}
 		}
 	}
@@ -51,48 +45,48 @@ func (n *Node) invokeLocked(target ids.GlobalRef, method string, args []ids.Glob
 	// Pin the target and remote args until the reply (or expiry).
 	pinned := make([]ids.GlobalRef, 0, 1+len(args))
 	pinRef := func(r ids.GlobalRef) {
-		if r.Node != n.id {
-			n.pin(r)
+		if r.Node != m.id {
+			m.pin(r)
 			pinned = append(pinned, r)
 		}
 	}
-	if !n.cfg.DisableDGC {
+	if !m.cfg.DisableDGC {
 		pinRef(target)
 		for _, a := range args {
 			pinRef(a)
 		}
 	}
 
-	n.nextCallID++
-	callID := n.nextCallID
+	m.nextCallID++
+	callID := m.nextCallID
 	argsCopy := append([]ids.GlobalRef(nil), args...)
 
 	send := func(ok bool, errMsg string) {
 		if !ok {
 			for _, r := range pinned {
-				n.unpin(r)
+				m.unpin(r)
 			}
-			n.stats.CallsFailed++
+			m.stats.CallsFailed++
 			if cb != nil {
-				cb(Mutator{n: n}, Reply{OK: false, Err: "export failed: " + errMsg})
+				m.callback(func() { cb(Mutator{n: m}, Reply{OK: false, Err: "export failed: " + errMsg}) })
 			}
 			return
 		}
 		var stubIC uint64
-		if !n.cfg.DisableDGC {
-			if ic, err := n.table.BumpStubIC(target); err == nil {
+		if !m.cfg.DisableDGC {
+			if ic, err := m.table.BumpStubIC(target); err == nil {
 				stubIC = ic
 			}
 		}
 		pc := &pendingCall{target: target, pinned: pinned, cb: cb}
-		if n.cfg.CallTimeoutTicks > 0 {
-			pc.deadline = n.clock + n.cfg.CallTimeoutTicks
+		if m.cfg.CallTimeoutTicks > 0 {
+			pc.deadline = m.clock + m.cfg.CallTimeoutTicks
 		}
-		n.pendingCalls[callID] = pc
-		n.stats.InvokesSent++
-		n.send(target.Node, &wire.InvokeRequest{
+		m.pendingCalls[callID] = pc
+		m.stats.InvokesSent++
+		m.send(target.Node, &wire.InvokeRequest{
 			CallID: callID,
-			From:   n.id,
+			From:   m.id,
 			Target: target,
 			Method: method,
 			Args:   argsCopy,
@@ -100,16 +94,16 @@ func (n *Node) invokeLocked(target ids.GlobalRef, method string, args []ids.Glob
 		})
 	}
 
-	if n.cfg.DisableDGC {
+	if m.cfg.DisableDGC {
 		send(true, "")
 		return nil
 	}
-	n.exportRefs(argsCopy, target.Node, send)
+	m.exportRefs(argsCopy, target.Node, send)
 	return nil
 }
 
 // exportRefs ensures scions exist for every reference in refs on behalf of
-// the new holder, then calls ready under the node lock. Self-owned
+// the new holder, then calls ready inside the machine. Self-owned
 // references get their scions synchronously; third-party references go
 // through CreateScion/Ack.
 //
@@ -121,29 +115,29 @@ func (n *Node) invokeLocked(target ids.GlobalRef, method string, args []ids.Glob
 // reference copying would slip past the §3.2 barrier ("there have been
 // remote invocations, and possibly reference copying, along the CDM-Graph",
 // safety rule 3).
-func (n *Node) exportRefs(refs []ids.GlobalRef, holder ids.NodeID, ready func(ok bool, errMsg string)) {
+func (m *Machine) exportRefs(refs []ids.GlobalRef, holder ids.NodeID, ready func(ok bool, errMsg string)) {
 	var remoteOwners []ids.GlobalRef
 	for _, r := range refs {
 		switch r.Node {
-		case n.id:
+		case m.id:
 			// We own the object: a brand-new reference, not a copy. Create
 			// the scion directly.
-			if _, created := n.table.EnsureScion(holder, r.Obj); created {
-				n.stats.ScionsCreated++
+			if _, created := m.table.EnsureScion(holder, r.Obj); created {
+				m.stats.ScionsCreated++
 			}
-			n.selector.Touch(ids.RefID{Src: holder, Dst: r}, n.clock)
+			m.selector.Touch(ids.RefID{Src: holder, Dst: r}, m.clock)
 		case holder:
 			// The holder owns it; importing turns it into a local ref.
 			// Still a copy of OUR reference to it: bump the stub side (the
 			// holder bumps its scion when the request/reply arrives).
-			if _, err := n.table.BumpStubIC(r); err != nil {
-				n.table.EnsureStub(r) // pinned-only reference: materialize
-				_, _ = n.table.BumpStubIC(r)
+			if _, err := m.table.BumpStubIC(r); err != nil {
+				m.table.EnsureStub(r) // pinned-only reference: materialize
+				_, _ = m.table.BumpStubIC(r)
 			}
 		default:
-			if _, err := n.table.BumpStubIC(r); err != nil {
-				n.table.EnsureStub(r)
-				_, _ = n.table.BumpStubIC(r)
+			if _, err := m.table.BumpStubIC(r); err != nil {
+				m.table.EnsureStub(r)
+				_, _ = m.table.BumpStubIC(r)
 			}
 			remoteOwners = append(remoteOwners, r)
 		}
@@ -152,13 +146,13 @@ func (n *Node) exportRefs(refs []ids.GlobalRef, holder ids.NodeID, ready func(ok
 		ready(true, "")
 		return
 	}
-	n.nextExportID++
-	exportID := n.nextExportID
-	n.pendingExports[exportID] = &pendingExport{waiting: len(remoteOwners), ready: ready}
+	m.nextExportID++
+	exportID := m.nextExportID
+	m.pendingExports[exportID] = &pendingExport{waiting: len(remoteOwners), ready: ready}
 	for _, r := range remoteOwners {
-		n.send(r.Node, &wire.CreateScion{
+		m.send(r.Node, &wire.CreateScion{
 			ExportID: exportID,
-			From:     n.id,
+			From:     m.id,
 			Holder:   holder,
 			Obj:      r.Obj,
 		})
@@ -166,69 +160,67 @@ func (n *Node) exportRefs(refs []ids.GlobalRef, holder ids.NodeID, ready func(ok
 }
 
 // AcquireRemote bootstraps possession of a remote reference: it runs the
-// CreateScion protocol with the owner on this node's behalf and, once
+// CreateScion protocol with the owner on this machine's behalf and, once
 // acknowledged, materializes a stub and invokes cb. This models an external
 // name service handing out references (the way the paper's OBIWAN clients
 // obtain their first proxy). The acquired reference is pinned for the
 // duration of cb; store it somewhere reachable or it will be collected.
-func (n *Node) AcquireRemote(ref ids.GlobalRef, cb func(m Mutator, ok bool)) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if ref.Node == n.id {
-		return n.errf("AcquireRemote: %v is local", ref)
+func (m *Machine) AcquireRemote(ref ids.GlobalRef, cb func(mut Mutator, ok bool)) error {
+	if ref.Node == m.id {
+		return m.errf("AcquireRemote: %v is local", ref)
 	}
-	n.nextExportID++
-	exportID := n.nextExportID
-	n.pin(ref)
-	n.pendingExports[exportID] = &pendingExport{
+	m.nextExportID++
+	exportID := m.nextExportID
+	m.pin(ref)
+	m.pendingExports[exportID] = &pendingExport{
 		waiting: 1,
 		ready: func(ok bool, _ string) {
 			if ok {
-				n.table.EnsureStub(ref)
+				m.table.EnsureStub(ref)
 			}
 			if cb != nil {
-				cb(Mutator{n: n}, ok)
+				m.callback(func() { cb(Mutator{n: m}, ok) })
 			}
-			n.unpin(ref)
+			m.unpin(ref)
 		},
 	}
-	n.send(ref.Node, &wire.CreateScion{
+	m.send(ref.Node, &wire.CreateScion{
 		ExportID: exportID,
-		From:     n.id,
-		Holder:   n.id,
+		From:     m.id,
+		Holder:   m.id,
 		Obj:      ref.Obj,
 	})
 	return nil
 }
 
-// handleInvokeRequest executes an incoming invocation. Caller holds the lock.
-func (n *Node) handleInvokeRequest(msg *wire.InvokeRequest) {
-	n.stats.InvokesHandled++
-	n.emit(trace.KindInvoke, "from=%s target=%d method=%s args=%d",
+// handleInvokeRequest executes an incoming invocation.
+func (m *Machine) handleInvokeRequest(msg *wire.InvokeRequest) {
+	m.stats.InvokesHandled++
+	m.emit(trace.KindInvoke, "from=%s target=%d method=%s args=%d",
 		msg.From, msg.Target.Obj, msg.Method, len(msg.Args))
-	reply := &wire.InvokeReply{CallID: msg.CallID, From: n.id, Target: msg.Target}
+	reply := &wire.InvokeReply{CallID: msg.CallID, From: m.id, Target: msg.Target}
 
-	if !n.cfg.DisableDGC {
+	if !m.cfg.DisableDGC {
 		// The caller held a stub, so our scion exists (create it defensively
 		// if a mixed-configuration caller skipped the protocol), and the
 		// invocation bumps its counter (§3.2).
-		sc, created := n.table.EnsureScion(msg.From, msg.Target.Obj)
+		sc, created := m.table.EnsureScion(msg.From, msg.Target.Obj)
 		if created {
-			n.stats.ScionsCreated++
+			m.stats.ScionsCreated++
 		}
 		sc.IC++
-		n.selector.Touch(ids.RefID{Src: msg.From, Dst: msg.Target}, n.clock)
+		m.selector.Touch(ids.RefID{Src: msg.From, Dst: msg.Target}, m.clock)
 	}
 
-	if !n.heap.Contains(msg.Target.Obj) {
+	if !m.heap.Contains(msg.Target.Obj) {
 		reply.Err = "no such object"
-		n.send(msg.From, reply)
+		m.send(msg.From, reply)
 		return
 	}
-	handler, ok := n.methods[msg.Method]
+	handler, ok := m.methods[msg.Method]
 	if !ok {
 		reply.Err = "no such method: " + msg.Method
-		n.send(msg.From, reply)
+		m.send(msg.From, reply)
 		return
 	}
 
@@ -237,20 +229,21 @@ func (n *Node) handleInvokeRequest(msg *wire.InvokeRequest) {
 	// own were reference copies of the caller's stub to them: bump the
 	// matching scion-side counter (the caller bumped its stub side in
 	// exportRefs).
-	if !n.cfg.DisableDGC {
+	if !m.cfg.DisableDGC {
 		for _, a := range msg.Args {
-			if a.Node != n.id {
-				n.table.EnsureStub(a)
+			if a.Node != m.id {
+				m.table.EnsureStub(a)
 				continue
 			}
-			if sc := n.table.Scion(msg.From, a.Obj); sc != nil {
+			if sc := m.table.Scion(msg.From, a.Obj); sc != nil {
 				sc.IC++
-				n.selector.Touch(ids.RefID{Src: msg.From, Dst: a}, n.clock)
+				m.selector.Touch(ids.RefID{Src: msg.From, Dst: a}, m.clock)
 			}
 		}
 	}
 
-	returns := handler(Mutator{n: n}, msg.Target.Obj, msg.Args)
+	var returns []ids.GlobalRef
+	m.callback(func() { returns = handler(Mutator{n: m}, msg.Target.Obj, msg.Args) })
 	reply.OK = true
 	reply.Returns = returns
 
@@ -260,105 +253,105 @@ func (n *Node) handleInvokeRequest(msg *wire.InvokeRequest) {
 			reply.Err = "return export failed: " + errMsg
 			reply.Returns = nil
 		}
-		if !n.cfg.DisableDGC {
+		if !m.cfg.DisableDGC {
 			// The reply travels back through the same reference: bump the
 			// scion-side counter and piggy-back it.
-			if sc := n.table.Scion(msg.From, msg.Target.Obj); sc != nil {
+			if sc := m.table.Scion(msg.From, msg.Target.Obj); sc != nil {
 				sc.IC++
 				reply.ScionIC = sc.IC
 			}
 		}
-		n.send(msg.From, reply)
+		m.send(msg.From, reply)
 	}
 
-	if n.cfg.DisableDGC || len(returns) == 0 {
+	if m.cfg.DisableDGC || len(returns) == 0 {
 		finish(true, "")
 		return
 	}
 	// Pin remote returns until their scions are confirmed.
 	var pinned []ids.GlobalRef
 	for _, r := range returns {
-		if r.Node != n.id && r.Node != msg.From {
-			n.pin(r)
+		if r.Node != m.id && r.Node != msg.From {
+			m.pin(r)
 			pinned = append(pinned, r)
 		}
 	}
-	n.exportRefs(returns, msg.From, func(ok bool, errMsg string) {
+	m.exportRefs(returns, msg.From, func(ok bool, errMsg string) {
 		finish(ok, errMsg)
 		for _, r := range pinned {
-			n.unpin(r)
+			m.unpin(r)
 		}
 	})
 }
 
-// handleInvokeReply completes a pending call. Caller holds the lock.
-func (n *Node) handleInvokeReply(msg *wire.InvokeReply) {
-	pc, ok := n.pendingCalls[msg.CallID]
+// handleInvokeReply completes a pending call.
+func (m *Machine) handleInvokeReply(msg *wire.InvokeReply) {
+	pc, ok := m.pendingCalls[msg.CallID]
 	if !ok {
 		return // expired or duplicate: returned refs self-heal via NewSetStubs
 	}
-	delete(n.pendingCalls, msg.CallID)
-	n.stats.RepliesHandled++
+	delete(m.pendingCalls, msg.CallID)
+	m.stats.RepliesHandled++
 
-	if !n.cfg.DisableDGC {
+	if !m.cfg.DisableDGC {
 		// Reply-side counter bump on the stub end (§3.2: "invocation (or
 		// reply)").
-		if st := n.table.Stub(pc.target); st != nil {
+		if st := m.table.Stub(pc.target); st != nil {
 			st.IC++
 		}
 		// Import returned references. Returns WE own were copies of the
 		// callee's reference to them: bump the matching scion counter.
 		for _, r := range msg.Returns {
-			if r.Node != n.id {
-				n.table.EnsureStub(r)
-				n.pin(r)
-				defer n.unpin(r)
+			if r.Node != m.id {
+				m.table.EnsureStub(r)
+				m.pin(r)
+				defer m.unpin(r)
 				continue
 			}
-			if sc := n.table.Scion(msg.From, r.Obj); sc != nil {
+			if sc := m.table.Scion(msg.From, r.Obj); sc != nil {
 				sc.IC++
-				n.selector.Touch(ids.RefID{Src: msg.From, Dst: r}, n.clock)
+				m.selector.Touch(ids.RefID{Src: msg.From, Dst: r}, m.clock)
 			}
 		}
 	}
 	for _, r := range pc.pinned {
-		n.unpin(r)
+		m.unpin(r)
 	}
 	if !msg.OK {
-		n.stats.CallsFailed++
+		m.stats.CallsFailed++
 	}
 	if pc.cb != nil {
-		pc.cb(Mutator{n: n}, Reply{OK: msg.OK, Err: msg.Err, Returns: msg.Returns})
+		m.callback(func() { pc.cb(Mutator{n: m}, Reply{OK: msg.OK, Err: msg.Err, Returns: msg.Returns}) })
 	}
 }
 
-// handleCreateScion serves a scion-creation request. Caller holds the lock.
-func (n *Node) handleCreateScion(msg *wire.CreateScion) {
-	ack := &wire.CreateScionAck{ExportID: msg.ExportID, From: n.id}
-	if !n.heap.Contains(msg.Obj) {
+// handleCreateScion serves a scion-creation request.
+func (m *Machine) handleCreateScion(msg *wire.CreateScion) {
+	ack := &wire.CreateScionAck{ExportID: msg.ExportID, From: m.id}
+	if !m.heap.Contains(msg.Obj) {
 		ack.Err = "no such object"
 	} else {
-		if _, created := n.table.EnsureScion(msg.Holder, msg.Obj); created {
-			n.stats.ScionsCreated++
+		if _, created := m.table.EnsureScion(msg.Holder, msg.Obj); created {
+			m.stats.ScionsCreated++
 		}
-		n.selector.Touch(ids.RefID{Src: msg.Holder, Dst: ids.GlobalRef{Node: n.id, Obj: msg.Obj}}, n.clock)
+		m.selector.Touch(ids.RefID{Src: msg.Holder, Dst: ids.GlobalRef{Node: m.id, Obj: msg.Obj}}, m.clock)
 		// The exporter copied ITS reference to our object: bump the
 		// matching scion counter (it bumped the stub side). A bootstrap
 		// acquisition (Holder == From) is a fresh grant, not a copy.
 		if msg.Holder != msg.From {
-			if sc := n.table.Scion(msg.From, msg.Obj); sc != nil {
+			if sc := m.table.Scion(msg.From, msg.Obj); sc != nil {
 				sc.IC++
-				n.selector.Touch(ids.RefID{Src: msg.From, Dst: ids.GlobalRef{Node: n.id, Obj: msg.Obj}}, n.clock)
+				m.selector.Touch(ids.RefID{Src: msg.From, Dst: ids.GlobalRef{Node: m.id, Obj: msg.Obj}}, m.clock)
 			}
 		}
 		ack.OK = true
 	}
-	n.send(msg.From, ack)
+	m.send(msg.From, ack)
 }
 
-// handleCreateScionAck resolves one pending export. Caller holds the lock.
-func (n *Node) handleCreateScionAck(msg *wire.CreateScionAck) {
-	pe, ok := n.pendingExports[msg.ExportID]
+// handleCreateScionAck resolves one pending export.
+func (m *Machine) handleCreateScionAck(msg *wire.CreateScionAck) {
+	pe, ok := m.pendingExports[msg.ExportID]
 	if !ok {
 		return
 	}
@@ -368,7 +361,7 @@ func (n *Node) handleCreateScionAck(msg *wire.CreateScionAck) {
 	}
 	pe.waiting--
 	if pe.waiting <= 0 {
-		delete(n.pendingExports, msg.ExportID)
+		delete(m.pendingExports, msg.ExportID)
 		pe.ready(!pe.failed, pe.errMsg)
 	}
 }

@@ -1,0 +1,430 @@
+package node
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgc/internal/heap"
+	"dgc/internal/ids"
+	"dgc/internal/lgc"
+	"dgc/internal/snapshot"
+	"dgc/internal/transport"
+	"dgc/internal/wire"
+)
+
+// ErrRuntimeClosed is returned by LiveRuntime entry points after Close.
+var ErrRuntimeClosed = errors.New("node: runtime closed")
+
+// RuntimeConfig tunes the wall-clock driver. All intervals are real time;
+// the machine's logical-tick daemon fields (Config.LGCEvery, SnapshotEvery,
+// DetectEvery) are ignored by LiveRuntime — daemons run on these tickers
+// instead.
+type RuntimeConfig struct {
+	// Tick is the logical-clock advance period (drives call expiry and
+	// candidate aging). Default 100ms.
+	Tick time.Duration
+	// LGCInterval runs the local collector periodically (0 disables).
+	LGCInterval time.Duration
+	// SnapshotInterval runs graph summarization periodically (0 disables).
+	SnapshotInterval time.Duration
+	// DetectInterval nominates candidates and starts detections
+	// periodically (0 disables).
+	DetectInterval time.Duration
+	// Mailbox bounds the event queue. Inbound transport messages beyond it
+	// are dropped (the protocol tolerates loss — blocking the transport's
+	// read loop instead could deadlock a cycle of full nodes); local API
+	// calls always block until queued. Default 1024.
+	Mailbox int
+}
+
+func (c RuntimeConfig) withDefaults() RuntimeConfig {
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.Mailbox <= 0 {
+		c.Mailbox = 1024
+	}
+	return c
+}
+
+// rtEvent is one mailbox entry: an inbound message (msg != nil) or a local
+// call (fn != nil, done closed after the effects are on the wire).
+type rtEvent struct {
+	from ids.NodeID
+	msg  wire.Message
+	fn   func(m *Machine)
+	done chan struct{}
+}
+
+// LiveRuntime is the wall-clock driver over a Machine: one goroutine owns
+// the machine outright (no lock) and consumes a bounded mailbox of inputs —
+// transport deliveries, local API calls, and daemon ticks. Effects are
+// transmitted by the loop after each input, so the transport is never
+// entered from its own delivery context, and a slow peer exerts
+// backpressure only on this node's outbound path, never on the protocol
+// core.
+//
+// This is the engine behind cmd/dgc-node and examples/tcpcluster; the
+// deterministic simulator uses the Node driver instead.
+type LiveRuntime struct {
+	mach *Machine
+	ep   transport.Endpoint
+	rcfg RuntimeConfig
+
+	mailbox chan rtEvent
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	// daemonTickers holds the periodic daemon tickers; owned by the loop
+	// goroutine (created on entry, stopped on exit).
+	daemonTickers []*time.Ticker
+
+	// closeMu serializes local-call enqueues against Close: enqueues hold
+	// the read side across the mailbox send, so once Close holds the write
+	// side and sets closed, no further event can commit and the loop's
+	// final drain unblocks every caller that did.
+	closeMu   sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+
+	// droppedInbound counts transport deliveries discarded because the
+	// mailbox was full.
+	droppedInbound atomic.Uint64
+}
+
+// NewLiveRuntime assembles a live node over the endpoint and starts its
+// event loop and daemon tickers. Close stops the loop; the caller retains
+// ownership of the endpoint and closes it separately.
+func NewLiveRuntime(id ids.NodeID, ep transport.Endpoint, cfg Config, rcfg RuntimeConfig) *LiveRuntime {
+	return startLiveRuntime(NewMachine(id, cfg), ep, rcfg)
+}
+
+// RestoreLiveRuntime reconstructs a live node from state produced by Save
+// (see RestoreMachine for the recovery semantics) and starts it.
+func RestoreLiveRuntime(ep transport.Endpoint, cfg Config, rcfg RuntimeConfig, data []byte) (*LiveRuntime, error) {
+	mach, err := RestoreMachine(cfg, data)
+	if err != nil {
+		return nil, err
+	}
+	return startLiveRuntime(mach, ep, rcfg), nil
+}
+
+func startLiveRuntime(mach *Machine, ep transport.Endpoint, rcfg RuntimeConfig) *LiveRuntime {
+	rcfg = rcfg.withDefaults()
+	r := &LiveRuntime{
+		mach:    mach,
+		ep:      ep,
+		rcfg:    rcfg,
+		mailbox: make(chan rtEvent, rcfg.Mailbox),
+		quit:    make(chan struct{}),
+	}
+	if ep != nil {
+		ep.SetHandler(r.handleMessage)
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// handleMessage is the transport delivery entry point: enqueue and return.
+// The loop transmits any response effects itself, so the returned effect
+// list is always empty. A full mailbox drops the message — every protocol
+// layer tolerates loss, and blocking here would stall the transport's read
+// loop (and, transitively, a cycle of loaded nodes).
+func (r *LiveRuntime) handleMessage(from ids.NodeID, msg wire.Message) []transport.Envelope {
+	select {
+	case r.mailbox <- rtEvent{from: from, msg: msg}:
+	default:
+		r.droppedInbound.Add(1)
+	}
+	return nil
+}
+
+// do submits a local call to the loop and blocks until its effects are on
+// the wire. Returns ErrRuntimeClosed (with fn not run) after Close. A panic
+// raised by fn — including the re-entrancy guard tripping inside a callback
+// — is captured on the loop and re-raised here on the caller's goroutine,
+// so a misbehaving callback does not take the event loop down with it.
+func (r *LiveRuntime) do(entry string, fn func(m *Machine)) error {
+	r.mach.guardReentry(entry)
+	r.closeMu.RLock()
+	if r.closed {
+		r.closeMu.RUnlock()
+		return ErrRuntimeClosed
+	}
+	var pv any
+	ev := rtEvent{done: make(chan struct{})}
+	ev.fn = func(m *Machine) {
+		defer func() { pv = recover() }()
+		fn(m)
+	}
+	r.mailbox <- ev
+	r.closeMu.RUnlock()
+	<-ev.done
+	if pv != nil {
+		panic(pv)
+	}
+	return nil
+}
+
+// loop is the single goroutine that owns the machine.
+func (r *LiveRuntime) loop() {
+	defer r.wg.Done()
+
+	tick := time.NewTicker(r.rcfg.Tick)
+	defer tick.Stop()
+	lgcC := r.newDaemonTicker(r.rcfg.LGCInterval)
+	snapC := r.newDaemonTicker(r.rcfg.SnapshotInterval)
+	detC := r.newDaemonTicker(r.rcfg.DetectInterval)
+	defer r.stopDaemonTickers()
+
+	for {
+		select {
+		case ev := <-r.mailbox:
+			r.consume(ev)
+		case <-tick.C:
+			r.mach.AdvanceClock()
+			r.flush()
+		case <-lgcC:
+			r.mach.RunLGC()
+			r.flush()
+		case <-snapC:
+			_ = r.mach.Summarize()
+			r.flush()
+		case <-detC:
+			r.mach.RunDetection()
+			r.flush()
+		case <-r.quit:
+			// Drain events that committed before Close flipped closed, so
+			// every blocked do() caller unblocks, then exit.
+			for {
+				select {
+				case ev := <-r.mailbox:
+					r.consume(ev)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// newDaemonTicker starts a ticker for interval d and returns its channel,
+// or a nil channel (never ready) when the daemon is disabled.
+func (r *LiveRuntime) newDaemonTicker(d time.Duration) <-chan time.Time {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTicker(d)
+	r.daemonTickers = append(r.daemonTickers, t)
+	return t.C
+}
+
+func (r *LiveRuntime) stopDaemonTickers() {
+	for _, t := range r.daemonTickers {
+		t.Stop()
+	}
+}
+
+// consume feeds one event to the machine and transmits its effects before
+// signalling completion.
+func (r *LiveRuntime) consume(ev rtEvent) {
+	switch {
+	case ev.msg != nil:
+		r.mach.HandleMessage(ev.from, ev.msg)
+	case ev.fn != nil:
+		ev.fn(r.mach)
+	}
+	r.flush()
+	if ev.done != nil {
+		close(ev.done)
+	}
+}
+
+// flush transmits the machine's accumulated effects in production order,
+// staging multi-message bursts into one batch frame per peer.
+func (r *LiveRuntime) flush() {
+	outs := r.mach.TakeEffects()
+	if len(outs) == 0 || r.ep == nil {
+		return
+	}
+	if st, ok := r.ep.(transport.Stager); ok && len(outs) > 1 {
+		st.BeginStage()
+		defer st.FlushStage(nil)
+	}
+	for _, o := range outs {
+		_ = r.ep.Send(o.To, o.Msg)
+	}
+}
+
+// Close detaches the runtime from its endpoint, stops the loop and waits
+// for it. Idempotent. Pending local calls enqueued before Close complete;
+// later ones fail with ErrRuntimeClosed. The endpoint itself stays open
+// (the caller owns it).
+func (r *LiveRuntime) Close() error {
+	r.closeOnce.Do(func() {
+		if r.ep != nil {
+			r.ep.SetHandler(nil)
+		}
+		r.closeMu.Lock()
+		r.closed = true
+		r.closeMu.Unlock()
+		close(r.quit)
+		r.wg.Wait()
+	})
+	return nil
+}
+
+// DroppedInbound reports transport deliveries discarded on mailbox
+// overflow since the runtime started.
+func (r *LiveRuntime) DroppedInbound() uint64 { return r.droppedInbound.Load() }
+
+// ID returns the node identifier.
+func (r *LiveRuntime) ID() ids.NodeID { return r.mach.ID() }
+
+// Stats returns a copy of the node's counters (zero after Close).
+func (r *LiveRuntime) Stats() Stats {
+	var s Stats
+	_ = r.do("Stats", func(m *Machine) { s = m.Stats() })
+	return s
+}
+
+// NumObjects returns the current heap size.
+func (r *LiveRuntime) NumObjects() int {
+	var v int
+	_ = r.do("NumObjects", func(m *Machine) { v = m.NumObjects() })
+	return v
+}
+
+// NumScions returns the number of incoming-reference scions.
+func (r *LiveRuntime) NumScions() int {
+	var v int
+	_ = r.do("NumScions", func(m *Machine) { v = m.NumScions() })
+	return v
+}
+
+// NumStubs returns the number of outgoing-reference stubs.
+func (r *LiveRuntime) NumStubs() int {
+	var v int
+	_ = r.do("NumStubs", func(m *Machine) { v = m.NumStubs() })
+	return v
+}
+
+// CloneHeap returns a deep copy of the node's heap (nil after Close).
+func (r *LiveRuntime) CloneHeap() *heap.Heap {
+	var h *heap.Heap
+	_ = r.do("CloneHeap", func(m *Machine) { h = m.CloneHeap() })
+	return h
+}
+
+// ScionRefs returns the node's current scions in canonical order.
+func (r *LiveRuntime) ScionRefs() []ids.RefID {
+	var out []ids.RefID
+	_ = r.do("ScionRefs", func(m *Machine) { out = m.ScionRefs() })
+	return out
+}
+
+// RegisterMethod installs (or replaces) a remotely invocable method.
+func (r *LiveRuntime) RegisterMethod(name string, fn Method) {
+	_ = r.do("RegisterMethod", func(m *Machine) { m.RegisterMethod(name, fn) })
+}
+
+// With runs fn on the runtime's loop with a Mutator over the machine.
+func (r *LiveRuntime) With(fn func(m Mutator)) error {
+	return r.do("With", func(m *Machine) { m.With(fn) })
+}
+
+// EnsureScionFor records an incoming reference from holder to the local
+// object obj (harness bootstrap; the protocol path is CreateScion/Ack).
+func (r *LiveRuntime) EnsureScionFor(holder ids.NodeID, obj ids.ObjID) error {
+	var err error
+	if derr := r.do("EnsureScionFor", func(m *Machine) { err = m.EnsureScionFor(holder, obj) }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// HoldRemote makes the local object from hold the remote reference target,
+// materializing the stub. Arrange the owner's scion first (EnsureScionFor),
+// preserving scion-before-stub.
+func (r *LiveRuntime) HoldRemote(from ids.ObjID, target ids.GlobalRef) error {
+	var err error
+	if derr := r.do("HoldRemote", func(m *Machine) { err = m.HoldRemote(from, target) }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// Clock returns the node's logical time.
+func (r *LiveRuntime) Clock() uint64 {
+	var v uint64
+	_ = r.do("Clock", func(m *Machine) { v = m.Clock() })
+	return v
+}
+
+// RunLGC performs one local collection immediately, in addition to any
+// periodic schedule.
+func (r *LiveRuntime) RunLGC() lgc.Result {
+	var res lgc.Result
+	_ = r.do("RunLGC", func(m *Machine) { res = m.RunLGC() })
+	return res
+}
+
+// Summarize rebuilds the summarized graph description immediately.
+func (r *LiveRuntime) Summarize() error {
+	var err error
+	if derr := r.do("Summarize", func(m *Machine) { err = m.Summarize() }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// RunDetection nominates candidates and starts detections immediately,
+// returning the number started.
+func (r *LiveRuntime) RunDetection() int {
+	var started int
+	_ = r.do("RunDetection", func(m *Machine) { started = m.RunDetection() })
+	return started
+}
+
+// Summary returns the node's current summarized snapshot (nil before the
+// first summarization and after Close).
+func (r *LiveRuntime) Summary() *snapshot.Summary {
+	var s *snapshot.Summary
+	_ = r.do("Summary", func(m *Machine) { s = m.Summary() })
+	return s
+}
+
+// Invoke performs an asynchronous remote invocation of method on target,
+// exporting args to the callee; cb (optional) receives the reply on the
+// runtime's loop. Invoke returns once the request is on the wire.
+func (r *LiveRuntime) Invoke(target ids.GlobalRef, method string, args []ids.GlobalRef, cb ReplyFunc) error {
+	var err error
+	if derr := r.do("Invoke", func(m *Machine) { err = m.Invoke(target, method, args, cb) }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// AcquireRemote bootstraps possession of a remote reference via the
+// CreateScion protocol; cb runs on the runtime's loop once acknowledged.
+func (r *LiveRuntime) AcquireRemote(ref ids.GlobalRef, cb func(m Mutator, ok bool)) error {
+	var err error
+	if derr := r.do("AcquireRemote", func(m *Machine) { err = m.AcquireRemote(ref, cb) }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// Save serializes the node's durable collector state. Typically paired
+// with Close: save, close, restart elsewhere with RestoreLiveRuntime.
+func (r *LiveRuntime) Save() ([]byte, error) {
+	var data []byte
+	var err error
+	if derr := r.do("Save", func(m *Machine) { data, err = m.Save() }); derr != nil {
+		return nil, derr
+	}
+	return data, err
+}

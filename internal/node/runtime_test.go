@@ -1,0 +1,180 @@
+package node
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dgc/internal/ids"
+	"dgc/internal/transport"
+)
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestLiveRuntimeLocalLifecycle(t *testing.T) {
+	r := NewLiveRuntime("A", nil, Config{}, RuntimeConfig{Tick: time.Millisecond})
+	var obj ids.ObjID
+	if err := r.With(func(m Mutator) {
+		obj = m.Alloc(nil)
+		if err := m.Root(obj); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NumObjects(); got != 1 {
+		t.Fatalf("objects = %d", got)
+	}
+	// The wall-clock ticker advances logical time without any manual Tick.
+	waitUntil(t, 2*time.Second, "clock advance", func() bool { return r.Clock() > 0 })
+
+	// A callback re-entering the public API panics at the CALLER (the loop
+	// survives and keeps serving).
+	mustPanicReentered(t, func() {
+		_ = r.With(func(Mutator) { r.NumObjects() })
+	})
+	if got := r.NumObjects(); got != 1 {
+		t.Fatalf("loop dead after guarded panic: objects = %d", got)
+	}
+
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := r.With(func(Mutator) {}); !errors.Is(err, ErrRuntimeClosed) {
+		t.Fatalf("post-Close With error = %v", err)
+	}
+	if _, err := r.Save(); !errors.Is(err, ErrRuntimeClosed) {
+		t.Fatalf("post-Close Save error = %v", err)
+	}
+}
+
+func TestLiveRuntimeDaemonTickers(t *testing.T) {
+	r := NewLiveRuntime("A", nil, Config{}, RuntimeConfig{
+		Tick:             time.Millisecond,
+		LGCInterval:      2 * time.Millisecond,
+		SnapshotInterval: 2 * time.Millisecond,
+		DetectInterval:   2 * time.Millisecond,
+	})
+	defer r.Close()
+	waitUntil(t, 2*time.Second, "periodic daemons", func() bool {
+		s := r.Stats()
+		return s.LGCRuns > 1 && s.Summarizations+s.SummaryCacheHits > 1
+	})
+	if r.Summary() == nil {
+		t.Fatal("no summary after periodic summarization")
+	}
+}
+
+func TestLiveRuntimeInvokeOverTCP(t *testing.T) {
+	epA, err := transport.ListenTCP("A", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := transport.ListenTCP("B", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+	epA.AddPeer("B", epB.Addr())
+	epB.AddPeer("A", epA.Addr())
+
+	rcfg := RuntimeConfig{Tick: 5 * time.Millisecond}
+	a := NewLiveRuntime("A", epA, Config{CallTimeoutTicks: 200}, rcfg)
+	defer a.Close()
+	b := NewLiveRuntime("B", epB, Config{CallTimeoutTicks: 200}, rcfg)
+	defer b.Close()
+
+	var caller, target ids.ObjID
+	if err := a.With(func(m Mutator) {
+		caller = m.Alloc(nil)
+		_ = m.Root(caller)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.With(func(m Mutator) {
+		target = m.Alloc(nil)
+		_ = m.Root(target)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Acquire B's object, store it, then invoke it — all over real sockets
+	// with replies landing on the runtime's loop.
+	ref := ids.GlobalRef{Node: "B", Obj: target}
+	acquired := make(chan bool, 1)
+	if err := a.AcquireRemote(ref, func(m Mutator, ok bool) {
+		if ok {
+			ok = m.Store(caller, ref) == nil
+		}
+		acquired <- ok
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-acquired:
+		if !ok {
+			t.Fatal("acquire failed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire timed out")
+	}
+
+	replied := make(chan Reply, 1)
+	if err := a.Invoke(ref, "noop", nil, func(_ Mutator, r Reply) { replied <- r }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-replied:
+		if !r.OK {
+			t.Fatalf("invoke failed: %s", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("invoke timed out")
+	}
+	if got := b.Stats().InvokesHandled; got != 1 {
+		t.Fatalf("B handled %d invokes", got)
+	}
+	if got := a.Stats().RepliesHandled; got != 1 {
+		t.Fatalf("A handled %d replies", got)
+	}
+}
+
+func TestLiveRuntimeSaveRestore(t *testing.T) {
+	r := NewLiveRuntime("A", nil, Config{}, RuntimeConfig{Tick: time.Millisecond})
+	if err := r.With(func(m Mutator) {
+		obj := m.Alloc([]byte("keep"))
+		_ = m.Root(obj)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	r2, err := RestoreLiveRuntime(nil, Config{}, RuntimeConfig{Tick: time.Millisecond}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.NumObjects(); got != 1 {
+		t.Fatalf("restored objects = %d", got)
+	}
+	if r2.ID() != "A" {
+		t.Fatalf("restored id = %s", r2.ID())
+	}
+}

@@ -124,8 +124,14 @@ func (n *Network) Step() bool {
 	n.delivered[env.msg.Kind()]++
 	n.mu.Unlock()
 
-	// Deliver outside the lock: the handler may Send.
-	h(env.from, env.msg)
+	// Deliver outside the lock. The handler returns its response sends as
+	// effects; they are enqueued here, after it returns, in the order the
+	// handler produced them — the same queue evolution as the historical
+	// re-entrant-Send contract, so schedules (and the fault-RNG stream)
+	// are unchanged.
+	for _, o := range h(env.from, env.msg) {
+		_ = n.send(env.to, o.To, o.Msg)
+	}
 	return true
 }
 

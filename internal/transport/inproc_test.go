@@ -18,9 +18,10 @@ func TestInprocDelivery(t *testing.T) {
 	b := net.Endpoint("B")
 	var got []uint64
 	var from []ids.NodeID
-	b.SetHandler(func(f ids.NodeID, m wire.Message) {
+	b.SetHandler(func(f ids.NodeID, m wire.Message) []Envelope {
 		from = append(from, f)
 		got = append(got, m.(*wire.HughesThreshold).Threshold)
+		return nil
 	})
 	for i := uint64(1); i <= 3; i++ {
 		if err := a.Send("B", ping(i)); err != nil {
@@ -58,19 +59,18 @@ func TestInprocEndpointIdentity(t *testing.T) {
 }
 
 func TestInprocHandlerMaySend(t *testing.T) {
-	// A handler sending during delivery extends the drain (transitive
+	// A handler returning send effects extends the drain (transitive
 	// quiescence): A -> B -> C.
 	net := NewNetwork(1)
 	a, b, c := net.Endpoint("A"), net.Endpoint("B"), net.Endpoint("C")
-	_ = a
+	_, _ = a, b
 	var final uint64
-	b.SetHandler(func(_ ids.NodeID, m wire.Message) {
-		if err := b.Send("C", ping(m.(*wire.HughesThreshold).Threshold+1)); err != nil {
-			t.Error(err)
-		}
+	b.SetHandler(func(_ ids.NodeID, m wire.Message) []Envelope {
+		return []Envelope{{To: "C", Msg: ping(m.(*wire.HughesThreshold).Threshold + 1)}}
 	})
-	c.SetHandler(func(_ ids.NodeID, m wire.Message) {
+	c.SetHandler(func(_ ids.NodeID, m wire.Message) []Envelope {
 		final = m.(*wire.HughesThreshold).Threshold
+		return nil
 	})
 	if err := net.Endpoint("A").Send("B", ping(10)); err != nil {
 		t.Fatal(err)
@@ -106,7 +106,7 @@ func TestInprocLoss(t *testing.T) {
 	net.SetFaults(Faults{LossRate: 1.0})
 	a, b := net.Endpoint("A"), net.Endpoint("B")
 	count := 0
-	b.SetHandler(func(ids.NodeID, wire.Message) { count++ })
+	b.SetHandler(func(ids.NodeID, wire.Message) []Envelope { count++; return nil })
 	for i := 0; i < 10; i++ {
 		if err := a.Send("B", ping(uint64(i))); err != nil {
 			t.Fatal(err)
@@ -127,7 +127,7 @@ func TestInprocDuplication(t *testing.T) {
 	net.SetFaults(Faults{DupRate: 1.0})
 	a, b := net.Endpoint("A"), net.Endpoint("B")
 	count := 0
-	b.SetHandler(func(ids.NodeID, wire.Message) { count++ })
+	b.SetHandler(func(ids.NodeID, wire.Message) []Envelope { count++; return nil })
 	for i := 0; i < 5; i++ {
 		if err := a.Send("B", ping(uint64(i))); err != nil {
 			t.Fatal(err)
@@ -144,8 +144,9 @@ func TestInprocReorderIsPermutation(t *testing.T) {
 	net.SetFaults(Faults{ReorderRate: 1.0})
 	a, b := net.Endpoint("A"), net.Endpoint("B")
 	var got []uint64
-	b.SetHandler(func(_ ids.NodeID, m wire.Message) {
+	b.SetHandler(func(_ ids.NodeID, m wire.Message) []Envelope {
 		got = append(got, m.(*wire.HughesThreshold).Threshold)
+		return nil
 	})
 	const n = 50
 	for i := 0; i < n; i++ {
@@ -178,7 +179,7 @@ func TestInprocFaultsAffectsFilter(t *testing.T) {
 	net.SetFaults(Faults{LossRate: 1.0, Affects: []wire.Kind{wire.KindCDM}})
 	a, b := net.Endpoint("A"), net.Endpoint("B")
 	count := 0
-	b.SetHandler(func(ids.NodeID, wire.Message) { count++ })
+	b.SetHandler(func(ids.NodeID, wire.Message) []Envelope { count++; return nil })
 	// Non-CDM traffic is unaffected by the fault plan.
 	if err := a.Send("B", ping(1)); err != nil {
 		t.Fatal(err)
@@ -199,8 +200,9 @@ func TestInprocDeterministicWithSeed(t *testing.T) {
 		net.SetFaults(Faults{LossRate: 0.3, DupRate: 0.2, ReorderRate: 0.5})
 		a, b := net.Endpoint("A"), net.Endpoint("B")
 		var got []uint64
-		b.SetHandler(func(_ ids.NodeID, m wire.Message) {
+		b.SetHandler(func(_ ids.NodeID, m wire.Message) []Envelope {
 			got = append(got, m.(*wire.HughesThreshold).Threshold)
+			return nil
 		})
 		for i := 0; i < 30; i++ {
 			_ = a.Send("B", ping(uint64(i)))
@@ -222,7 +224,7 @@ func TestInprocDeterministicWithSeed(t *testing.T) {
 func TestInprocDrainLimit(t *testing.T) {
 	net := NewNetwork(1)
 	a, b := net.Endpoint("A"), net.Endpoint("B")
-	b.SetHandler(func(ids.NodeID, wire.Message) {})
+	b.SetHandler(func(ids.NodeID, wire.Message) []Envelope { return nil })
 	for i := 0; i < 10; i++ {
 		_ = a.Send("B", ping(uint64(i)))
 	}
@@ -237,7 +239,7 @@ func TestInprocDrainLimit(t *testing.T) {
 func TestInprocBytesSentAccounting(t *testing.T) {
 	net := NewNetwork(1)
 	a := net.Endpoint("A")
-	net.Endpoint("B").SetHandler(func(ids.NodeID, wire.Message) {})
+	net.Endpoint("B").SetHandler(func(ids.NodeID, wire.Message) []Envelope { return nil })
 	msg := ping(300)
 	if err := a.Send("B", msg); err != nil {
 		t.Fatal(err)
@@ -258,7 +260,7 @@ func TestInprocCloseStopsDelivery(t *testing.T) {
 	net := NewNetwork(1)
 	a, b := net.Endpoint("A"), net.Endpoint("B")
 	count := 0
-	b.SetHandler(func(ids.NodeID, wire.Message) { count++ })
+	b.SetHandler(func(ids.NodeID, wire.Message) []Envelope { count++; return nil })
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -275,10 +277,11 @@ func TestInprocConcurrentSends(t *testing.T) {
 	a, b := net.Endpoint("A"), net.Endpoint("B")
 	var mu sync.Mutex
 	count := 0
-	b.SetHandler(func(ids.NodeID, wire.Message) {
+	b.SetHandler(func(ids.NodeID, wire.Message) []Envelope {
 		mu.Lock()
 		count++
 		mu.Unlock()
+		return nil
 	})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

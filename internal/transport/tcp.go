@@ -412,13 +412,33 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		}
 		// Batches are a framing construct: unpack and deliver individually,
 		// preserving order. Nested batches are rejected by the decoder.
+		// The handler's response sends are staged across the whole batch so
+		// one inbound batch costs at most one outbound batch per peer.
 		if b, ok := msg.(*wire.Batch); ok {
+			e.BeginStage()
 			for _, sub := range b.Msgs {
-				h(ids.NodeID(from), sub)
+				e.transmit(h(ids.NodeID(from), sub))
 			}
+			e.FlushStage(nil)
 			continue
 		}
-		h(ids.NodeID(from), msg)
+		e.transmit(h(ids.NodeID(from), msg))
+	}
+}
+
+// transmit performs a handler's effect sends. Multi-message effect lists
+// are staged so a burst of responses ships as one batch frame per peer.
+func (e *TCPEndpoint) transmit(outs []Envelope) {
+	if len(outs) == 0 {
+		return
+	}
+	if len(outs) > 1 {
+		e.BeginStage()
+		defer e.FlushStage(nil)
+	}
+	for _, o := range outs {
+		// Best-effort, like every send: the protocol tolerates loss.
+		_ = e.Send(o.To, o.Msg)
 	}
 }
 

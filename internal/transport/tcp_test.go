@@ -26,12 +26,13 @@ func newCollector() *collector {
 	return c
 }
 
-func (c *collector) handler(from ids.NodeID, m wire.Message) {
+func (c *collector) handler(from ids.NodeID, m wire.Message) []Envelope {
 	c.mu.Lock()
 	c.msgs = append(c.msgs, m)
 	c.from = append(c.from, from)
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	return nil
 }
 
 // waitFor blocks until n messages arrived or the deadline passes.

@@ -11,6 +11,13 @@
 //
 // Both deliver through the same Handler interface, so every layer above is
 // transport-agnostic.
+//
+// Delivery follows an effect contract: a handler does not call Send while
+// it runs — it returns the messages it wants transmitted, and the transport
+// performs those sends after the handler has returned. This keeps handlers
+// pure with respect to the transport (no re-entrant sends from the delivery
+// context) and is what lets the node layer run as a state machine whose
+// outputs are explicit effect lists.
 package transport
 
 import (
@@ -18,10 +25,23 @@ import (
 	"dgc/internal/wire"
 )
 
-// Handler consumes one delivered message. Implementations must be safe for
-// calls from the transport's delivery context (the pumping goroutine for
-// inproc, a connection-reader goroutine for TCP).
-type Handler func(from ids.NodeID, msg wire.Message)
+// Envelope pairs a destination with a message: the effect form of a send.
+type Envelope struct {
+	To  ids.NodeID
+	Msg wire.Message
+}
+
+// Handler consumes one delivered message and returns the messages the
+// receiving node wants transmitted in response (nil when there are none).
+// The transport performs those sends on the node's behalf after the handler
+// returns; implementations must not call Endpoint.Send from within the
+// handler (that would re-enter the transport from its own delivery
+// context). Ownership of the returned slice passes to the transport.
+//
+// Implementations must be safe for calls from the transport's delivery
+// context (the pumping goroutine for inproc, a connection-reader goroutine
+// for TCP).
+type Handler func(from ids.NodeID, msg wire.Message) []Envelope
 
 // Stager is implemented by transports that can coalesce a burst of sends:
 // between BeginStage and the matching FlushStage, messages are collected and
