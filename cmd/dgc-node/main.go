@@ -8,7 +8,11 @@
 //	dgc-node -id P1 -listen :7001 -peers P2=host2:7002,P3=host3:7003
 //	         [-tick 250ms] [-lgc-every 2] [-snapshot-every 4] [-detect-every 4]
 //	         [-snapshot-dir DIR] [-codec binary|reflect] [-seed-objects N]
-//	         [-state-file FILE]
+//	         [-state-file FILE] [-metrics-addr :9090]
+//
+// With -metrics-addr the daemon serves its collector and transport metrics
+// as Prometheus text at /metrics and a structural JSON diagnostic (tables,
+// inflight detections with causal trace ids, mailbox stats) at /debug/dgc.
 //
 // The -*-every flags are multiples of the tick period (e.g. -tick 250ms
 // -lgc-every 2 runs the local collector every 500ms). Start one dgc-node
@@ -24,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +56,7 @@ func main() {
 		broadcastDel  = flag.Bool("broadcast-delete", false, "broadcast scion deletion on cycle found")
 		callTimeoutTk = flag.Uint64("call-timeout", 40, "RPC timeout in ticks")
 		stateFile     = flag.String("state-file", "", "persist collector state here: loaded at startup if present, saved on shutdown")
+		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/dgc on this address")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -73,10 +80,16 @@ func main() {
 	}
 	defer ep.Close()
 
+	// One metric set carries this node's collector and transport series; the
+	// registration is harmless when -metrics-addr is unset (nothing reads it).
+	metrics := dgc.NewMetricsSet()
+	ep.SetMetrics(dgc.NewTransportMetrics(metrics.Node(*id)))
+
 	cfg := dgc.Config{
 		CandidateMinAge:  *candidateAge,
 		CallTimeoutTicks: *callTimeoutTk,
 		SnapshotDir:      *snapshotDir,
+		Metrics:          metrics,
 	}
 	cfg.Detector.BroadcastDelete = *broadcastDel
 	switch *codecName {
@@ -117,6 +130,17 @@ func main() {
 		rt = dgc.NewLiveRuntime(dgc.NodeID(*id), ep, cfg, rcfg)
 	}
 	fmt.Printf("dgc-node %s listening on %s (%d peers)\n", *id, ep.Addr(), len(peers))
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("dgc-node: metrics listen %s: %v", *metricsAddr, err)
+		}
+		defer ln.Close()
+		handler := dgc.MetricsHandler(metrics, func() any { return rt.DebugSnapshot() })
+		go func() { _ = http.Serve(ln, handler) }()
+		fmt.Printf("metrics on http://%s/metrics (diagnostics at /debug/dgc)\n", ln.Addr())
+	}
 
 	if *seedObjects > 0 {
 		if err := rt.With(func(m dgc.Mutator) {

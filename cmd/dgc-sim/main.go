@@ -6,6 +6,7 @@
 //	dgc-sim [-scenario figure1|figure3|figure4|ring|acyclic|random]
 //	        [-procs N] [-chain N] [-seed N] [-rounds N]
 //	        [-loss F] [-dup F] [-reorder F] [-broadcast] [-v]
+//	        [-metrics-addr :9090] [-metrics-json]
 //
 // Examples:
 //
@@ -15,9 +16,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"text/tabwriter"
 
@@ -37,6 +41,9 @@ func main() {
 		broadcast = flag.Bool("broadcast", false, "broadcast scion deletion on cycle found")
 		verbose   = flag.Bool("v", false, "print per-node stats at the end")
 		traceN    = flag.Int("trace", 0, "print the last N collector events")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/dgc on this address during the run")
+		metricsJSON = flag.Bool("metrics-json", false, "dump the full metric set as one JSON object per round")
 	)
 	flag.Parse()
 
@@ -60,7 +67,7 @@ func main() {
 		log.Fatalf("unknown scenario %q", *scenario)
 	}
 
-	cfg := dgc.Config{}
+	cfg := dgc.Config{Metrics: dgc.NewMetricsSet()}
 	cfg.Detector.BroadcastDelete = *broadcast
 	var events *dgc.TraceLog
 	if *traceN > 0 {
@@ -78,6 +85,23 @@ func main() {
 		})
 	}
 
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listen %s: %v", *metricsAddr, err)
+		}
+		defer ln.Close()
+		debug := func() any {
+			out := map[string]any{}
+			for _, n := range c.Nodes() {
+				out[string(n.ID())] = n.DebugSnapshot()
+			}
+			return out
+		}
+		go func() { _ = http.Serve(ln, dgc.MetricsHandler(cfg.Metrics, debug)) }()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	live := c.GlobalLive()
 	fmt.Printf("scenario %s: %d objects (%d reachable from roots), %d scions, %d stubs\n",
 		topo.Name, c.TotalObjects(), len(live), c.TotalScions(), c.TotalStubs())
@@ -93,6 +117,13 @@ func main() {
 		round++
 		fmt.Printf("round %2d: objects %d -> %d, scions %d, stubs %d\n",
 			round, before, c.TotalObjects(), c.TotalScions(), c.TotalStubs())
+		if *metricsJSON {
+			blob, err := json.Marshal(cfg.Metrics.Dump())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("metrics %s\n", blob)
+		}
 		if c.TotalObjects() == len(live) && c.TotalObjects() == before && round > 2 {
 			break
 		}

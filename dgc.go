@@ -32,10 +32,13 @@
 package dgc
 
 import (
+	"net/http"
+
 	"dgc/internal/cluster"
 	"dgc/internal/core"
 	"dgc/internal/ids"
 	"dgc/internal/node"
+	"dgc/internal/obs"
 	"dgc/internal/snapshot"
 	"dgc/internal/trace"
 	"dgc/internal/transport"
@@ -171,6 +174,50 @@ type (
 // NewTraceLog returns an event log retaining the most recent capacity
 // events.
 func NewTraceLog(capacity int) *TraceLog { return trace.New(capacity) }
+
+// Observability types: configure Config.Metrics with NewMetricsSet, serve it
+// with MetricsHandler, and read structural diagnostics via DebugSnapshot
+// (see internal/obs and DESIGN.md §9).
+type (
+	// MetricsSet groups the per-node metric registries of one process (or
+	// one simulated cluster); it is what /metrics serves.
+	MetricsSet = obs.Set
+	// MetricsRegistry is one labeled registry of counters, gauges and
+	// histograms.
+	MetricsRegistry = obs.Registry
+	// NodeMetrics is the per-node instrument block (detections, LGC,
+	// scions, mailbox, ...).
+	NodeMetrics = obs.NodeMetrics
+	// TransportMetrics is the per-endpoint instrument block (messages,
+	// bytes, batches, dials, ...).
+	TransportMetrics = obs.TransportMetrics
+	// DebugSnapshot is the /debug/dgc JSON view of one node's collector
+	// state, including inflight detections with their causal trace ids.
+	DebugSnapshot = node.DebugSnapshot
+)
+
+// NewMetricsSet returns an empty metrics set; pass it as Config.Metrics to
+// every node that should publish into it.
+func NewMetricsSet() *MetricsSet { return obs.NewSet() }
+
+// NewMetricsRegistry returns a standalone unlabeled registry (useful for
+// transport metrics or tests).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewNodeMetrics registers (or rebinds) the node instrument block in reg.
+func NewNodeMetrics(reg *MetricsRegistry) *NodeMetrics { return obs.NewNodeMetrics(reg) }
+
+// NewTransportMetrics registers (or rebinds) the transport instrument block
+// in reg; hand it to (*TCPEndpoint).SetMetrics or (*Network).SetMetrics.
+func NewTransportMetrics(reg *MetricsRegistry) *TransportMetrics {
+	return obs.NewTransportMetrics(reg)
+}
+
+// MetricsHandler serves set as Prometheus text at /metrics and, when debug
+// is non-nil, its value as JSON at /debug/dgc.
+func MetricsHandler(set *MetricsSet, debug func() any) http.Handler {
+	return obs.NewHTTPHandler(set, debug)
+}
 
 // GCTraffic returns the message kinds belonging to the garbage collector's
 // own protocol (NewSetStubs, CDM, DeleteScion). Use it as Faults.Affects to

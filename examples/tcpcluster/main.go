@@ -9,18 +9,33 @@
 // drops the root, and simply waits while the periodic daemons detect and
 // reclaim the cycle over the wire.
 //
-//	go run ./examples/tcpcluster
+//	go run ./examples/tcpcluster [-metrics-addr :9090]
+//
+// With -metrics-addr the program serves all three nodes' collector and
+// transport metrics at /metrics and their structural diagnostics (tables,
+// inflight detections with causal trace ids, mailbox stats) at /debug/dgc
+// while the run is in flight.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"time"
 
 	"dgc"
 )
 
 func main() {
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/dgc for the whole cluster")
+	flag.Parse()
+
+	// One metric set spans the whole in-process cluster: each node publishes
+	// under its own node label, so /metrics shows all three side by side.
+	metrics := dgc.NewMetricsSet()
+
 	// Start three nodes on ephemeral loopback ports.
 	names := []dgc.NodeID{"A", "B", "C"}
 	eps := make(map[dgc.NodeID]*dgc.TCPEndpoint, 3)
@@ -30,6 +45,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer ep.Close()
+		ep.SetMetrics(dgc.NewTransportMetrics(metrics.Node(string(n))))
 		eps[n] = ep
 	}
 	for _, n := range names {
@@ -39,7 +55,7 @@ func main() {
 			}
 		}
 	}
-	cfg := dgc.Config{CallTimeoutTicks: 200, CandidateMinAge: 2}
+	cfg := dgc.Config{CallTimeoutTicks: 200, CandidateMinAge: 2, Metrics: metrics}
 	rcfg := dgc.RuntimeConfig{
 		Tick:             25 * time.Millisecond,
 		LGCInterval:      50 * time.Millisecond,
@@ -51,6 +67,23 @@ func main() {
 		nodes[n] = dgc.NewLiveRuntime(n, eps[n], cfg, rcfg)
 		defer nodes[n].Close()
 		fmt.Printf("node %s listening on %s\n", n, eps[n].Addr())
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listen %s: %v", *metricsAddr, err)
+		}
+		defer ln.Close()
+		debug := func() any {
+			out := map[string]any{}
+			for _, n := range names {
+				out[string(n)] = nodes[n].DebugSnapshot()
+			}
+			return out
+		}
+		go func() { _ = http.Serve(ln, dgc.MetricsHandler(metrics, debug)) }()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	// Each node publishes one anchor object; A's anchor is rooted.

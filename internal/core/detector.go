@@ -15,6 +15,29 @@ type DetectionID struct {
 	Seq    uint64
 }
 
+// TraceIDFor derives the causal trace id of a detection: a well-mixed
+// 64-bit tag carried by every CDM of the detection (through the wire codec,
+// across every hop), so one detection can be followed across nodes in
+// /debug/dgc snapshots and trace logs. The id is a pure function of the
+// DetectionID — FNV-1a over the origin name folded with the sequence number,
+// finished with the splitmix64 mixer — so it is deterministic (simulation
+// fingerprints are unaffected) and any process can recompute it without
+// coordination.
+func TraceIDFor(det DetectionID) uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(det.Origin); i++ {
+		h ^= uint64(det.Origin[i])
+		h *= 1099511628211 // FNV-64 prime
+	}
+	h ^= det.Seq
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // Config tunes a node's detector.
 type Config struct {
 	// BroadcastDelete, when set, makes a cycle-finding node send DeleteScion
@@ -50,10 +73,11 @@ const DefaultMaxHops = 256
 type Actions interface {
 	// SendCDMs forwards a CDM derivation along each of the stubs in
 	// `alongs` (along.Src is the local node, along.Dst the remote object).
-	// hops is the derivation's forwarding depth, carried in every message.
-	// Handing the whole fan-out to the implementation at once lets it
-	// flatten the algebra a single time and share the result across peers.
-	SendCDMs(det DetectionID, alongs []ids.RefID, alg Alg, hops int)
+	// hops is the derivation's forwarding depth and trace the detection's
+	// causal trace id (TraceIDFor), both carried in every message. Handing
+	// the whole fan-out to the implementation at once lets it flatten the
+	// algebra a single time and share the result across peers.
+	SendCDMs(det DetectionID, trace uint64, alongs []ids.RefID, alg Alg, hops int)
 	// DeleteOwnScion removes the local scion for ref (ref.Dst.Node is the
 	// local node) and must trigger acyclic-DGC reclamation.
 	DeleteOwnScion(ref ids.RefID)
@@ -165,14 +189,15 @@ func (d *Detector) StartDetection(sum *snapshot.Summary, candidate ids.RefID) (D
 		return det, Outcome{Kind: OutcomeBranchEnded}
 	}
 	d.Stats.Started++
-	out := d.expand(sum, det, sc, NewAlg(), 0)
+	out := d.expand(sum, det, sc, NewAlg(), 0, TraceIDFor(det))
 	return det, out
 }
 
 // HandleCDM processes a CDM delivered along the reference `along`
 // (along.Dst.Node must be this node). sum is the node's current summarized
-// snapshot; hops is the forwarding depth carried by the message.
-func (d *Detector) HandleCDM(sum *snapshot.Summary, det DetectionID, along ids.RefID, alg Alg, hops int) Outcome {
+// snapshot; hops is the forwarding depth and trace the causal trace id
+// carried by the message (propagated unchanged into any forwarded CDMs).
+func (d *Detector) HandleCDM(sum *snapshot.Summary, det DetectionID, along ids.RefID, alg Alg, hops int, trace uint64) Outcome {
 	d.Stats.CDMsHandled++
 
 	// Safety rules 1/2 (§2.2): the reference must have a scion in the
@@ -205,7 +230,7 @@ func (d *Detector) HandleCDM(sum *snapshot.Summary, det DetectionID, along ids.R
 
 	// Safety rule 4: combine the CDM with this process's snapshot and
 	// continue detection.
-	return d.expand(sum, det, sc, alg, hops)
+	return d.expand(sum, det, sc, alg, hops, trace)
 }
 
 // cycleFound deletes this node's scions named in the CDM source set and,
@@ -247,7 +272,7 @@ func (d *Detector) HandleDeleteScion(ref ids.RefID) {
 // dense graphs (every interleaving of a diamond yields a distinct algebra
 // that keeps breeding); the merged form converges to the closure in
 // O(closure) growth steps and lets receivers deduplicate identical CDMs.
-func (d *Detector) expand(sum *snapshot.Summary, det DetectionID, sc *snapshot.ScionSummary, alg Alg, hops int) Outcome {
+func (d *Detector) expand(sum *snapshot.Summary, det DetectionID, sc *snapshot.ScionSummary, alg Alg, hops int, trace uint64) Outcome {
 	maxHops := d.cfg.MaxHops
 	if maxHops <= 0 {
 		maxHops = DefaultMaxHops
@@ -315,7 +340,7 @@ func (d *Detector) expand(sum *snapshot.Summary, det DetectionID, sc *snapshot.S
 	for i, tgt := range eligible {
 		alongs[i] = ids.RefID{Src: d.self, Dst: tgt}
 	}
-	d.actions.SendCDMs(det, alongs, derived, hops+1)
+	d.actions.SendCDMs(det, trace, alongs, derived, hops+1)
 	d.Stats.CDMsSent += uint64(len(eligible))
 	return Outcome{Kind: OutcomeForwarded, Forwarded: len(eligible), Derived: &derived}
 }

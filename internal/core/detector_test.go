@@ -26,6 +26,7 @@ type cdmEnv struct {
 	along ids.RefID
 	alg   Alg
 	hops  int
+	trace uint64
 }
 
 type sim struct {
@@ -42,9 +43,9 @@ type simActions struct {
 	self ids.NodeID
 }
 
-func (a simActions) SendCDMs(det DetectionID, alongs []ids.RefID, alg Alg, hops int) {
+func (a simActions) SendCDMs(det DetectionID, trace uint64, alongs []ids.RefID, alg Alg, hops int) {
 	for _, along := range alongs {
-		a.s.queue = append(a.s.queue, cdmEnv{det: det, along: along, alg: alg.Clone(), hops: hops})
+		a.s.queue = append(a.s.queue, cdmEnv{det: det, along: along, alg: alg.Clone(), hops: hops, trace: trace})
 	}
 }
 
@@ -95,7 +96,7 @@ func (s *sim) pump() int {
 		if p == nil {
 			s.t.Fatalf("CDM to unknown node %s", env.along.Dst.Node)
 		}
-		out := p.det.HandleCDM(p.sum, env.det, env.along, env.alg, env.hops)
+		out := p.det.HandleCDM(p.sum, env.det, env.along, env.alg, env.hops, env.trace)
 		if out.Kind == OutcomeCycleFound {
 			s.found = append(s.found, out)
 		}
@@ -292,7 +293,8 @@ func TestCDMToUnknownScionDropped(t *testing.T) {
 	alg := NewAlg()
 	alg.AddTarget(ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P2", Obj: 42}}, 0)
 	out := p2.det.HandleCDM(p2.sum, DetectionID{Origin: "P9", Seq: 1},
-		ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P2", Obj: 42}}, alg, 0)
+		ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P2", Obj: 42}}, alg, 0,
+		TraceIDFor(DetectionID{Origin: "P9", Seq: 1}))
 	if out.Kind != OutcomeDropped {
 		t.Fatalf("outcome = %+v", out)
 	}

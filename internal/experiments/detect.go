@@ -124,7 +124,7 @@ func CDMHopScale(sizes []int, iters int) ([]HopRow, error) {
 			if derived.Equal(alg) {
 				return nil, fmt.Errorf("experiments: derivation did not grow at size %d", n)
 			}
-			msg := wire.NewCDMFromAlg(det, along, derived, int(uint32(i)%8))
+			msg := wire.NewCDMFromAlg(det, along, derived, int(uint32(i)%8), core.TraceIDFor(det))
 			frame = wire.AppendEncode(frame[:0], msg)
 			bytes = len(frame)
 		}

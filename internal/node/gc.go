@@ -3,6 +3,7 @@ package node
 import (
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"dgc/internal/core"
 	"dgc/internal/ids"
@@ -40,6 +41,17 @@ func (m *Machine) Tick() {
 func (m *Machine) AdvanceClock() {
 	m.clock++
 	m.expireCalls()
+	// Periodically age out tracked detections that never reached a terminal
+	// outcome here (e.g. the origin of a detection that ended elsewhere).
+	if m.clock%64 == 0 && len(m.inflight) > 0 {
+		cutoff := time.Now().Add(-inflightMaxAge)
+		for det, inf := range m.inflight {
+			if inf.first.Before(cutoff) {
+				delete(m.inflight, det)
+			}
+		}
+		m.met.DetectionsInflight.Set(int64(len(m.inflight)))
+	}
 }
 
 func (m *Machine) expireCalls() {
@@ -50,6 +62,7 @@ func (m *Machine) expireCalls() {
 				m.unpin(r)
 			}
 			m.stats.CallsFailed++
+			m.met.CallsFailed.Inc()
 			if pc.cb != nil {
 				m.callback(func() { pc.cb(Mutator{n: m}, Reply{OK: false, Err: "call timed out"}) })
 			}
@@ -59,6 +72,7 @@ func (m *Machine) expireCalls() {
 
 // RunLGC performs one local collection and emits NewSetStubs messages.
 func (m *Machine) RunLGC() lgc.Result {
+	start := time.Now()
 	// Remember every current peer before the collection can delete their
 	// last stub, so they still receive the (empty) stub set that lets them
 	// reclaim scions.
@@ -68,13 +82,19 @@ func (m *Machine) RunLGC() lgc.Result {
 	res := m.lgc.Collect(m.pinnedRefs()...)
 	m.stats.LGCRuns++
 	m.stats.ObjectsSwept += uint64(res.Swept)
+	m.met.LGCRuns.Inc()
+	m.met.ObjectsSwept.Add(uint64(res.Swept))
 	m.emit(trace.KindLGC, "swept=%d live=%d stubs-deleted=%d", res.Swept, res.Live, res.StubsDeleted)
 
 	// "This new set of stubs is then sent to remote processes" (§1).
 	for _, ts := range m.acyclic.GenerateTargeted() {
 		m.stats.StubSetsSent++
+		m.met.StubSetsSent.Inc()
 		m.send(ts.To, &wire.NewSetStubs{Set: ts.Msg})
 	}
+	m.lastLGC = start
+	m.met.LGCDuration.Observe(time.Since(start).Seconds())
+	m.syncGauges()
 	return res
 }
 
@@ -92,12 +112,16 @@ func (m *Machine) Summarize() error {
 	if m.summary != nil && m.heap.Gen() == m.sumHeapGen && m.table.Gen() == m.sumTableGen {
 		m.stats.Summarizations++
 		m.stats.SummaryCacheHits++
+		m.met.Summarizations.Inc()
+		m.met.SummaryCacheHits.Inc()
+		m.lastSummarize = time.Now()
 		m.emit(trace.KindSummarize, "version=%d scions=%d stubs=%d cached",
 			m.summary.Version, len(m.summary.Scions), len(m.summary.Stubs))
 		m.cdmAcc = make(map[core.DetectionID]*detAcc)
 		m.cdmAborted = make(map[core.DetectionID]struct{})
 		return nil
 	}
+	start := time.Now()
 	m.snapVersion++
 	if m.cfg.Codec != nil {
 		data, err := m.cfg.Codec.Encode(m.heap)
@@ -115,6 +139,9 @@ func (m *Machine) Summarize() error {
 	}
 	m.summary = snapshot.Summarize(m.heap, m.table, m.snapVersion)
 	m.stats.Summarizations++
+	m.met.Summarizations.Inc()
+	m.lastSummarize = start
+	m.met.SummarizeDuration.Observe(time.Since(start).Seconds())
 	m.emit(trace.KindSummarize, "version=%d scions=%d stubs=%d",
 		m.snapVersion, len(m.summary.Scions), len(m.summary.Stubs))
 	// A new summary changes CDM processing results: reset the accumulators
@@ -123,6 +150,7 @@ func (m *Machine) Summarize() error {
 	m.cdmAborted = make(map[core.DetectionID]struct{})
 	m.sumHeapGen = m.heap.Gen()
 	m.sumTableGen = m.table.Gen()
+	m.syncGauges()
 	return nil
 }
 
@@ -154,9 +182,13 @@ func (m *Machine) RunDetection() int {
 		det, out := m.detector.StartDetection(m.summary, c)
 		if out.Kind == core.OutcomeForwarded {
 			started++
+			m.met.DetectionsStarted.Inc()
+			m.met.CDMsSent.Add(uint64(out.Forwarded))
+			m.trackDetection(det, core.TraceIDFor(det))
 			m.emit(trace.KindDetectionStart, "det=%s/%d candidate=%s", det.Origin, det.Seq, c)
 		}
 	}
+	m.syncGauges()
 	return started
 }
 
@@ -171,10 +203,11 @@ type detectorActions Machine
 // SendCDMs implements core.Actions. The derivation is shared, unflattened,
 // by every outgoing message of the fan-out: in-process receivers merge it
 // directly and the codec flattens lazily if a message reaches a real socket.
-func (a *detectorActions) SendCDMs(det core.DetectionID, alongs []ids.RefID, alg core.Alg, hops int) {
+// The detection's trace id rides every message of the fan-out.
+func (a *detectorActions) SendCDMs(det core.DetectionID, traceID uint64, alongs []ids.RefID, alg core.Alg, hops int) {
 	m := (*Machine)(a)
 	for _, along := range alongs {
-		m.send(along.Dst.Node, wire.NewCDMFromAlg(det, along, alg, hops))
+		m.send(along.Dst.Node, wire.NewCDMFromAlg(det, along, alg, hops, traceID))
 	}
 }
 
@@ -187,6 +220,7 @@ func (a *detectorActions) DeleteOwnScion(ref ids.RefID) {
 	}
 	m.table.DeleteScion(ref.Src, ref.Dst.Obj)
 	m.selector.Forget(ref)
+	m.met.ScionsFreed.Inc()
 	m.emit(trace.KindScionDeleted, "ref=%s reason=cycle", ref)
 }
 

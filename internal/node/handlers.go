@@ -48,10 +48,14 @@ func (m *Machine) HandleMessage(from ids.NodeID, msg wire.Message) {
 // paper's "no correctness-critical per-detection state at intermediate
 // processes" property.
 func (m *Machine) handleCDM(msg *wire.CDM) {
+	m.met.CDMsHandled.Inc()
+	m.met.CDMHops.Observe(float64(msg.Hops))
 	if _, aborted := m.cdmAborted[msg.Det]; aborted {
 		m.stats.CDMsRaceDropped++
+		m.met.CDMsRaceDropped.Inc()
 		return
 	}
+	m.trackDetection(msg.Det, msg.Trace)
 	acc, ok := m.cdmAcc[msg.Det]
 	if !ok {
 		if len(m.cdmAcc) >= cdmAccCap {
@@ -64,8 +68,10 @@ func (m *Machine) handleCDM(msg *wire.CDM) {
 	changed, conflict := msg.MergeAlgInto(acc.alg)
 	if conflict {
 		m.stats.CDMsRaceDropped++
+		m.met.CDMsRaceDropped.Inc()
 		delete(m.cdmAcc, msg.Det)
 		m.cdmAborted[msg.Det] = struct{}{}
+		m.detectionDone(msg.Det)
 		return
 	}
 	_, knownAlong := acc.alongs[msg.Along]
@@ -76,6 +82,7 @@ func (m *Machine) handleCDM(msg *wire.CDM) {
 	}
 	if !changed && knownAlong {
 		m.stats.CDMsDeduped++
+		m.met.CDMsDeduped.Inc()
 		return
 	}
 
@@ -84,7 +91,17 @@ func (m *Machine) handleCDM(msg *wire.CDM) {
 	// through the stubs reachable from the others, or converging paths
 	// would starve each other of the closure they jointly build.
 	for _, along := range acc.alongsSorted {
-		out := m.detector.HandleCDM(m.summary, msg.Det, along, acc.alg, int(msg.Hops))
+		out := m.detector.HandleCDM(m.summary, msg.Det, along, acc.alg, int(msg.Hops), msg.Trace)
+		switch out.Kind {
+		case core.OutcomeDropped:
+			m.met.CDMsDropped.Inc()
+		case core.OutcomeAborted:
+			m.met.DetectionsAborted.Inc()
+		case core.OutcomeCycleFound:
+			m.met.CyclesFound.Inc()
+		case core.OutcomeForwarded:
+			m.met.CDMsSent.Add(uint64(out.Forwarded))
+		}
 		if m.cfg.Trace != nil {
 			m.emit(trace.KindCDMHandled, "det=%s/%d along=%s outcome=%s entries=%d",
 				msg.Det.Origin, msg.Det.Seq, along, out.Kind, acc.alg.Len())
@@ -99,12 +116,17 @@ func (m *Machine) handleCDM(msg *wire.CDM) {
 			// information every downstream node already has.
 			if _, conflict := acc.alg.Merge(*out.Derived); conflict {
 				m.stats.CDMsRaceDropped++
+				m.met.CDMsRaceDropped.Inc()
 				delete(m.cdmAcc, msg.Det)
 				m.cdmAborted[msg.Det] = struct{}{}
+				m.detectionDone(msg.Det)
 				return
 			}
 		}
 		if out.Kind == core.OutcomeCycleFound || out.Kind == core.OutcomeAborted {
+			// Terminal outcome observed at this node: close the latency
+			// measurement for the detection's causal trace.
+			m.detectionDone(msg.Det)
 			break
 		}
 	}
@@ -116,10 +138,12 @@ func (m *Machine) handleCDM(msg *wire.CDM) {
 func (m *Machine) handleNewSetStubs(msg *wire.NewSetStubs) {
 	deleted := m.acyclic.ApplyStubSet(msg.Set)
 	m.stats.StubSetsApplied++
+	m.met.StubSetsApplied.Inc()
 	if len(deleted) == 0 {
 		return
 	}
 	m.stats.ScionsDropped += uint64(len(deleted))
+	m.met.ScionsDropped.Add(uint64(len(deleted)))
 	for _, sc := range deleted {
 		ref := sc.RefID(m.id)
 		m.selector.Forget(ref)

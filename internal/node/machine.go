@@ -3,11 +3,13 @@ package node
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"dgc/internal/core"
 	"dgc/internal/heap"
 	"dgc/internal/ids"
 	"dgc/internal/lgc"
+	"dgc/internal/obs"
 	"dgc/internal/refs"
 	"dgc/internal/snapshot"
 	"dgc/internal/trace"
@@ -74,6 +76,24 @@ type Machine struct {
 
 	stats Stats
 
+	// met is the node's observability instrument block (a private registry
+	// when Config.Metrics is nil, so no instrumentation site needs a guard).
+	// Metric observations may read the wall clock but never feed back into
+	// protocol decisions, keeping the machine's behaviour deterministic.
+	met *obs.NodeMetrics
+
+	// inflight tracks detections currently known to this node for causal
+	// tracing and the per-detection latency histogram: keyed by detection,
+	// carrying the trace id and the wall-clock time of first sight here.
+	// Droppable cache (bounded by inflightCap, aged out on clock advances):
+	// losing an entry only loses a latency sample.
+	inflight map[core.DetectionID]detInflight
+
+	// lastLGC/lastSummarize timestamp the most recent daemon runs, for the
+	// /debug/dgc snapshot.
+	lastLGC       time.Time
+	lastSummarize time.Time
+
 	// out accumulates the outbound-message effects of the current input.
 	// Drivers drain it with TakeEffects after every input they feed in.
 	out []transport.Envelope
@@ -97,6 +117,22 @@ type detAcc struct {
 // cdmAccCap bounds the per-detection accumulator cache; overflowing flushes
 // it, which only costs repeated work.
 const cdmAccCap = 1 << 10
+
+// detInflight is one tracked detection: its causal trace id and when this
+// node first saw it.
+type detInflight struct {
+	trace uint64
+	first time.Time
+}
+
+// inflightCap bounds the inflight-detection table; overflowing flushes it,
+// which only loses latency samples and debug visibility, never correctness.
+const inflightCap = 1 << 12
+
+// inflightMaxAge ages out tracked detections that never reached a terminal
+// outcome at this node (e.g. the origin of a detection that ended
+// elsewhere). Swept on clock advances.
+const inflightMaxAge = 2 * time.Minute
 
 type pendingCall struct {
 	target   ids.GlobalRef
@@ -125,7 +161,9 @@ func NewMachine(id ids.NodeID, cfg Config) *Machine {
 		pins:           make(map[ids.GlobalRef]int),
 		cdmAcc:         make(map[core.DetectionID]*detAcc),
 		cdmAborted:     make(map[core.DetectionID]struct{}),
+		inflight:       make(map[core.DetectionID]detInflight),
 	}
+	m.met = obs.NewNodeMetrics(cfg.Metrics.Node(string(id)))
 	m.acyclic = refs.NewAcyclicDGC(m.table)
 	m.acyclic.EmptySetRepeats = cfg.EmptySetRepeats
 	m.lgc = lgc.New(m.heap, m.table)
@@ -137,6 +175,46 @@ func NewMachine(id ids.NodeID, cfg Config) *Machine {
 
 // ID returns the process identifier.
 func (m *Machine) ID() ids.NodeID { return m.id }
+
+// Metrics returns the machine's instrument block. Instruments are atomic
+// and safe to read from any goroutine.
+func (m *Machine) Metrics() *obs.NodeMetrics { return m.met }
+
+// syncGauges refreshes the instantaneous-state gauges from the heap and
+// tables; called from the daemon paths, which are the only inputs that can
+// change them in bulk.
+func (m *Machine) syncGauges() {
+	m.met.HeapObjects.Set(int64(m.heap.Len()))
+	m.met.Scions.Set(int64(m.table.NumScions()))
+	m.met.Stubs.Set(int64(m.table.NumStubs()))
+	m.met.PendingCalls.Set(int64(len(m.pendingCalls)))
+	m.met.DetectionsInflight.Set(int64(len(m.inflight)))
+}
+
+// trackDetection records a detection for causal tracing, stamping its first
+// sight at this node.
+func (m *Machine) trackDetection(det core.DetectionID, trace uint64) {
+	if _, ok := m.inflight[det]; ok {
+		return
+	}
+	if len(m.inflight) >= inflightCap {
+		m.inflight = make(map[core.DetectionID]detInflight)
+	}
+	m.inflight[det] = detInflight{trace: trace, first: time.Now()}
+	m.met.DetectionsInflight.Set(int64(len(m.inflight)))
+}
+
+// detectionDone observes the detection's latency at this node (first sight
+// to terminal outcome) and stops tracking it.
+func (m *Machine) detectionDone(det core.DetectionID) {
+	inf, ok := m.inflight[det]
+	if !ok {
+		return
+	}
+	m.met.DetectionLatency.Observe(time.Since(inf.first).Seconds())
+	delete(m.inflight, det)
+	m.met.DetectionsInflight.Set(int64(len(m.inflight)))
+}
 
 // TakeEffects returns the outbound messages accumulated since the last
 // call, transferring ownership to the caller (the machine starts a fresh
@@ -233,6 +311,7 @@ func (m *Machine) EnsureScionFor(holder ids.NodeID, obj ids.ObjID) error {
 	}
 	if _, created := m.table.EnsureScion(holder, obj); created {
 		m.stats.ScionsCreated++
+		m.met.ScionsCreated.Inc()
 	}
 	m.selector.Touch(ids.RefID{Src: holder, Dst: ids.GlobalRef{Node: m.id, Obj: obj}}, m.clock)
 	return nil

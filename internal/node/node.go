@@ -30,6 +30,7 @@ import (
 	"dgc/internal/heap"
 	"dgc/internal/ids"
 	"dgc/internal/lgc"
+	"dgc/internal/obs"
 	"dgc/internal/snapshot"
 	"dgc/internal/trace"
 	"dgc/internal/transport"
@@ -69,6 +70,11 @@ type Config struct {
 	// Trace, when non-nil, receives structured events (collections,
 	// summarizations, detections, CDM outcomes, scion lifecycle).
 	Trace *trace.Log
+	// Metrics, when non-nil, is the observability set this node's registry
+	// is created in (labeled node="<id>"); serve it with obs.NewHTTPHandler.
+	// When nil the node still instruments itself into a private registry, so
+	// no code path needs a guard — the samples are simply never scraped.
+	Metrics *obs.Set
 }
 
 // Stats counts node activity.

@@ -67,6 +67,7 @@ func (m *Machine) Invoke(target ids.GlobalRef, method string, args []ids.GlobalR
 				m.unpin(r)
 			}
 			m.stats.CallsFailed++
+			m.met.CallsFailed.Inc()
 			if cb != nil {
 				m.callback(func() { cb(Mutator{n: m}, Reply{OK: false, Err: "export failed: " + errMsg}) })
 			}
@@ -84,6 +85,7 @@ func (m *Machine) Invoke(target ids.GlobalRef, method string, args []ids.GlobalR
 		}
 		m.pendingCalls[callID] = pc
 		m.stats.InvokesSent++
+		m.met.InvokesSent.Inc()
 		m.send(target.Node, &wire.InvokeRequest{
 			CallID: callID,
 			From:   m.id,
@@ -124,6 +126,7 @@ func (m *Machine) exportRefs(refs []ids.GlobalRef, holder ids.NodeID, ready func
 			// the scion directly.
 			if _, created := m.table.EnsureScion(holder, r.Obj); created {
 				m.stats.ScionsCreated++
+				m.met.ScionsCreated.Inc()
 			}
 			m.selector.Touch(ids.RefID{Src: holder, Dst: r}, m.clock)
 		case holder:
@@ -196,6 +199,7 @@ func (m *Machine) AcquireRemote(ref ids.GlobalRef, cb func(mut Mutator, ok bool)
 // handleInvokeRequest executes an incoming invocation.
 func (m *Machine) handleInvokeRequest(msg *wire.InvokeRequest) {
 	m.stats.InvokesHandled++
+	m.met.InvokesHandled.Inc()
 	m.emit(trace.KindInvoke, "from=%s target=%d method=%s args=%d",
 		msg.From, msg.Target.Obj, msg.Method, len(msg.Args))
 	reply := &wire.InvokeReply{CallID: msg.CallID, From: m.id, Target: msg.Target}
@@ -207,6 +211,7 @@ func (m *Machine) handleInvokeRequest(msg *wire.InvokeRequest) {
 		sc, created := m.table.EnsureScion(msg.From, msg.Target.Obj)
 		if created {
 			m.stats.ScionsCreated++
+			m.met.ScionsCreated.Inc()
 		}
 		sc.IC++
 		m.selector.Touch(ids.RefID{Src: msg.From, Dst: msg.Target}, m.clock)
@@ -292,6 +297,7 @@ func (m *Machine) handleInvokeReply(msg *wire.InvokeReply) {
 	}
 	delete(m.pendingCalls, msg.CallID)
 	m.stats.RepliesHandled++
+	m.met.RepliesHandled.Inc()
 
 	if !m.cfg.DisableDGC {
 		// Reply-side counter bump on the stub end (§3.2: "invocation (or
@@ -319,6 +325,7 @@ func (m *Machine) handleInvokeReply(msg *wire.InvokeReply) {
 	}
 	if !msg.OK {
 		m.stats.CallsFailed++
+		m.met.CallsFailed.Inc()
 	}
 	if pc.cb != nil {
 		m.callback(func() { pc.cb(Mutator{n: m}, Reply{OK: msg.OK, Err: msg.Err, Returns: msg.Returns}) })
@@ -333,6 +340,7 @@ func (m *Machine) handleCreateScion(msg *wire.CreateScion) {
 	} else {
 		if _, created := m.table.EnsureScion(msg.Holder, msg.Obj); created {
 			m.stats.ScionsCreated++
+			m.met.ScionsCreated.Inc()
 		}
 		m.selector.Touch(ids.RefID{Src: msg.Holder, Dst: ids.GlobalRef{Node: m.id, Obj: msg.Obj}}, m.clock)
 		// The exporter copied ITS reference to our object: bump the

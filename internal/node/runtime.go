@@ -120,6 +120,7 @@ func startLiveRuntime(mach *Machine, ep transport.Endpoint, rcfg RuntimeConfig) 
 		mailbox: make(chan rtEvent, rcfg.Mailbox),
 		quit:    make(chan struct{}),
 	}
+	mach.met.MailboxCapacity.Set(int64(rcfg.Mailbox))
 	if ep != nil {
 		ep.SetHandler(r.handleMessage)
 	}
@@ -138,6 +139,7 @@ func (r *LiveRuntime) handleMessage(from ids.NodeID, msg wire.Message) []transpo
 	case r.mailbox <- rtEvent{from: from, msg: msg}:
 	default:
 		r.droppedInbound.Add(1)
+		r.mach.met.MailboxDropped.Inc()
 	}
 	return nil
 }
@@ -231,6 +233,7 @@ func (r *LiveRuntime) stopDaemonTickers() {
 // consume feeds one event to the machine and transmits its effects before
 // signalling completion.
 func (r *LiveRuntime) consume(ev rtEvent) {
+	r.mach.met.MailboxDepth.Set(int64(len(r.mailbox)))
 	switch {
 	case ev.msg != nil:
 		r.mach.HandleMessage(ev.from, ev.msg)

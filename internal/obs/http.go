@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// NewHTTPHandler returns the opt-in introspection endpoint served by
+// cmd/dgc-node, cmd/dgc-sim and examples/tcpcluster:
+//
+//	GET /metrics    Prometheus text exposition of every registry in set
+//	GET /debug/dgc  JSON snapshot from the debug callback (one entry per
+//	                node: table sizes, inflight detections with trace ids,
+//	                last daemon timestamps, mailbox stats)
+//
+// debug may be nil, in which case /debug/dgc serves 404. The callback runs
+// on the HTTP serving goroutine; implementations route through their
+// driver's serialization (Node.step / LiveRuntime.do) themselves.
+func NewHTTPHandler(set *Set, debug func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = set.WriteText(w)
+	})
+	mux.HandleFunc("/debug/dgc", func(w http.ResponseWriter, r *http.Request) {
+		if debug == nil {
+			http.NotFound(w, r)
+			return
+		}
+		data, err := json.MarshalIndent(debug(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+		_, _ = w.Write([]byte("\n"))
+	})
+	return mux
+}

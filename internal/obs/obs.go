@@ -1,0 +1,381 @@
+// Package obs is the zero-dependency observability substrate: atomic
+// counters, gauges and bucketed histograms collected in per-node registries
+// and exposed in the Prometheus text format. The node layer, the transports
+// and the command-line drivers all report into it, so deterministic
+// simulations and live TCP deployments share one metrics vocabulary (see
+// DESIGN.md §9 for the metric name table).
+//
+// Everything here is safe for concurrent use and never feeds back into
+// protocol decisions: instrumentation may observe wall-clock time without
+// perturbing the deterministic simulator.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one exposition label, rendered as key="value" on every sample of
+// a registry.
+type Label struct {
+	Key, Value string
+}
+
+// metric is the family-member contract: every registered instrument knows
+// its name, help text, Prometheus type, and how to render or dump itself.
+type metric interface {
+	metricName() string
+	metricHelp() string
+	metricType() string
+	write(w io.Writer, labels string)
+	dump(labels string, out map[string]float64)
+}
+
+// Registry holds one label-set's worth of metrics — typically one node's.
+// Registration is idempotent by name: asking for an existing name returns
+// the existing instrument (a type mismatch panics), which is what lets a
+// restarted machine rebind to the registry its predecessor populated.
+type Registry struct {
+	labels string // rendered label block, e.g. `node="P1"`, possibly empty
+
+	mu     sync.Mutex
+	order  []metric
+	byName map[string]metric
+}
+
+// NewRegistry returns a registry whose samples carry the given labels.
+func NewRegistry(labels ...Label) *Registry {
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	return &Registry{labels: sb.String(), byName: make(map[string]metric)}
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) register(name string, make func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m
+	}
+	m := make()
+	r.byName[name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns the registry's monotonically increasing counter with the
+// given name, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, func() metric { return &Counter{name: name, help: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic("obs: " + name + " already registered as a " + m.metricType())
+	}
+	return c
+}
+
+// Gauge returns the registry's gauge with the given name, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, func() metric { return &Gauge{name: name, help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic("obs: " + name + " already registered as a " + m.metricType())
+	}
+	return g
+}
+
+// Histogram returns the registry's histogram with the given name, creating
+// it on first use with the given bucket upper bounds (ascending; an +Inf
+// bucket is implicit). Re-registration ignores the bounds argument and
+// returns the existing histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, func() metric {
+		h := &Histogram{name: name, help: help, bounds: append([]float64(nil), buckets...)}
+		h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+		return h
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic("obs: " + name + " already registered as a " + m.metricType())
+	}
+	return h
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricHelp() string { return c.help }
+func (c *Counter) metricType() string { return "counter" }
+
+func (c *Counter) write(w io.Writer, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", c.name, wrapLabels(labels), c.v.Load())
+}
+
+func (c *Counter) dump(labels string, out map[string]float64) {
+	out[c.name+wrapLabels(labels)] = float64(c.v.Load())
+}
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricHelp() string { return g.help }
+func (g *Gauge) metricType() string { return "gauge" }
+
+func (g *Gauge) write(w io.Writer, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", g.name, wrapLabels(labels), g.v.Load())
+}
+
+func (g *Gauge) dump(labels string, out map[string]float64) {
+	out[g.name+wrapLabels(labels)] = float64(g.v.Load())
+}
+
+// Histogram counts observations into cumulative le-buckets with a running
+// sum, Prometheus-style. Observe is lock-free: per-bucket atomic counts plus
+// a CAS loop for the float sum.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds; +Inf implicit
+	counts     []atomic.Uint64
+	count      atomic.Uint64
+	sum        atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, or len (the +Inf bucket)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) metricHelp() string { return h.help }
+func (h *Histogram) metricType() string { return "histogram" }
+
+func (h *Histogram) write(w io.Writer, labels string) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, wrapLabels(joinLabels(labels, `le="`+formatFloat(b)+`"`)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, wrapLabels(joinLabels(labels, `le="+Inf"`)), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", h.name, wrapLabels(labels), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", h.name, wrapLabels(labels), h.count.Load())
+}
+
+func (h *Histogram) dump(labels string, out map[string]float64) {
+	out[h.name+"_count"+wrapLabels(labels)] = float64(h.count.Load())
+	out[h.name+"_sum"+wrapLabels(labels)] = h.Sum()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// family is one metric name's exposition group across registries.
+type family struct {
+	name, help, typ string
+	members         []struct {
+		m      metric
+		labels string
+	}
+}
+
+// WriteText renders every registry's metrics in the Prometheus text format,
+// grouping samples of the same family (metric name) across registries under
+// one HELP/TYPE header — the layout Prometheus requires when many nodes
+// share a process.
+func WriteText(w io.Writer, regs ...*Registry) error {
+	var order []string
+	fams := make(map[string]*family)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		ms := append([]metric(nil), r.order...)
+		labels := r.labels
+		r.mu.Unlock()
+		for _, m := range ms {
+			f, ok := fams[m.metricName()]
+			if !ok {
+				f = &family{name: m.metricName(), help: m.metricHelp(), typ: m.metricType()}
+				fams[m.metricName()] = f
+				order = append(order, m.metricName())
+			}
+			f.members = append(f.members, struct {
+				m      metric
+				labels string
+			}{m, labels})
+		}
+	}
+	bw := &errWriter{w: w}
+	for _, name := range order {
+		f := fams[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, mb := range f.members {
+			mb.m.write(bw, mb.labels)
+		}
+	}
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}
+
+// Dump flattens every registry's current values into a map keyed by
+// "name{labels}" — counters and gauges directly, histograms as their _count
+// and _sum. The map marshals to deterministic (key-sorted) JSON, which is
+// what cmd/dgc-sim's per-round metric dump relies on.
+func Dump(regs ...*Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		ms := append([]metric(nil), r.order...)
+		labels := r.labels
+		r.mu.Unlock()
+		for _, m := range ms {
+			m.dump(labels, out)
+		}
+	}
+	return out
+}
+
+// Set is a collection of registries keyed by node name: one Set serves a
+// whole process (a live daemon's single node, or every node of a simulated
+// cluster), and the HTTP handler exposes all of them in one scrape.
+type Set struct {
+	mu    sync.Mutex
+	order []string
+	regs  map[string]*Registry
+}
+
+// NewSet returns an empty registry collection.
+func NewSet() *Set {
+	return &Set{regs: make(map[string]*Registry)}
+}
+
+// Node returns the registry labeled node="name", creating it on first use.
+// Safe on a nil Set: instrumentation then reports into a fresh private
+// registry that nothing scrapes, so instrumented code needs no nil guards.
+func (s *Set) Node(name string) *Registry {
+	if s == nil {
+		return NewRegistry(Label{Key: "node", Value: name})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.regs[name]; ok {
+		return r
+	}
+	r := NewRegistry(Label{Key: "node", Value: name})
+	s.regs[name] = r
+	s.order = append(s.order, name)
+	return r
+}
+
+// Registries returns the set's registries in creation order.
+func (s *Set) Registries() []*Registry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Registry, len(s.order))
+	for i, name := range s.order {
+		out[i] = s.regs[name]
+	}
+	return out
+}
+
+// WriteText renders the whole set in the Prometheus text format.
+func (s *Set) WriteText(w io.Writer) error { return WriteText(w, s.Registries()...) }
+
+// Dump flattens the whole set (see Dump).
+func (s *Set) Dump() map[string]float64 { return Dump(s.Registries()...) }

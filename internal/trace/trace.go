@@ -26,6 +26,9 @@ const (
 	KindScionDeleted
 	KindInvoke
 	KindCustom
+	// KindDropped marks the synthetic head event Snapshot prepends when the
+	// ring has evicted events, so consumers can tell the log is truncated.
+	KindDropped
 )
 
 // String returns the kind's display name.
@@ -49,6 +52,8 @@ func (k Kind) String() string {
 		return "invoke"
 	case KindCustom:
 		return "custom"
+	case KindDropped:
+		return "dropped"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -70,11 +75,12 @@ func (e Event) String() string {
 // Log is a bounded ring of events shared by any number of nodes. The zero
 // value is unusable; create with New.
 type Log struct {
-	mu     sync.Mutex
-	buf    []Event
-	cap    int
-	seq    uint64
-	filter map[Kind]bool // nil = all kinds
+	mu      sync.Mutex
+	buf     []Event
+	cap     int
+	seq     uint64
+	dropped uint64        // events evicted by the ring bound
+	filter  map[Kind]bool // nil = all kinds
 }
 
 // New returns a log retaining the most recent capacity events (minimum 16).
@@ -116,6 +122,15 @@ func (l *Log) Emit(node ids.NodeID, kind Kind, format string, args ...any) {
 	}
 	copy(l.buf, l.buf[1:])
 	l.buf[len(l.buf)-1] = e
+	l.dropped++
+}
+
+// Dropped returns the number of events evicted by the ring bound since the
+// log was created.
+func (l *Log) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // Len returns the number of retained events.
@@ -133,11 +148,18 @@ func (l *Log) Total() uint64 {
 	return l.seq
 }
 
-// Snapshot returns the retained events, oldest first.
+// Snapshot returns the retained events, oldest first. When the ring has
+// evicted events, a synthetic KindDropped event (Seq 0) heads the slice
+// stating how many are missing.
 func (l *Log) Snapshot() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Event(nil), l.buf...)
+	if l.dropped == 0 {
+		return append([]Event(nil), l.buf...)
+	}
+	out := make([]Event, 0, len(l.buf)+1)
+	out = append(out, Event{Kind: KindDropped, Detail: fmt.Sprintf("%d earlier events evicted", l.dropped)})
+	return append(out, l.buf...)
 }
 
 // OfKind returns the retained events of one kind, oldest first.

@@ -37,14 +37,44 @@ func TestRingEviction(t *testing.T) {
 		t.Fatalf("Total = %d", l.Total())
 	}
 	events := l.Snapshot()
-	if events[0].Detail != "n=24" || events[15].Detail != "n=39" {
-		t.Fatalf("wrong retained window: first=%q last=%q", events[0].Detail, events[15].Detail)
+	// A synthetic KindDropped event heads the snapshot once eviction begins.
+	if len(events) != 17 {
+		t.Fatalf("snapshot = %d events, want 16 + synthetic head", len(events))
+	}
+	if events[0].Kind != KindDropped || events[0].Seq != 0 {
+		t.Fatalf("head = %+v, want synthetic KindDropped", events[0])
+	}
+	if events[1].Detail != "n=24" || events[16].Detail != "n=39" {
+		t.Fatalf("wrong retained window: first=%q last=%q", events[1].Detail, events[16].Detail)
 	}
 	// Strictly increasing sequence numbers survive eviction.
-	for i := 1; i < len(events); i++ {
+	for i := 2; i < len(events); i++ {
 		if events[i].Seq != events[i-1].Seq+1 {
 			t.Fatalf("non-contiguous seq at %d", i)
 		}
+	}
+}
+
+func TestDroppedCount(t *testing.T) {
+	l := New(16)
+	for i := 0; i < 16; i++ {
+		l.Emit("P1", KindCustom, "n=%d", i)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before overflow", l.Dropped())
+	}
+	if events := l.Snapshot(); len(events) != 16 || events[0].Kind == KindDropped {
+		t.Fatalf("synthetic head present before overflow: %+v", events[0])
+	}
+	for i := 0; i < 24; i++ {
+		l.Emit("P1", KindCustom, "n=%d", 16+i)
+	}
+	if l.Dropped() != 24 {
+		t.Fatalf("Dropped = %d, want 24", l.Dropped())
+	}
+	head := l.Snapshot()[0]
+	if head.Kind != KindDropped || !strings.Contains(head.Detail, "24") {
+		t.Fatalf("synthetic head = %+v, want 24 evicted", head)
 	}
 }
 
@@ -84,7 +114,7 @@ func TestOfKind(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := KindLGC; k <= KindCustom; k++ {
+	for k := KindLGC; k <= KindDropped; k++ {
 		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
 			t.Errorf("Kind(%d).String() = %q", k, s)
 		}

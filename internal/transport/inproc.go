@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dgc/internal/ids"
+	"dgc/internal/obs"
 	"dgc/internal/wire"
 )
 
@@ -61,6 +62,10 @@ type Network struct {
 	delivered map[wire.Kind]uint64
 	dropped   map[wire.Kind]uint64
 	bytes     uint64 // encoded size of sent messages (accounting only)
+
+	// met, when non-nil, mirrors the fabric counters into an observability
+	// instrument block (one block for the whole fabric). Guarded by mu.
+	met *obs.TransportMetrics
 }
 
 // NewNetwork returns a fabric seeded for reproducible fault injection.
@@ -79,6 +84,14 @@ func (n *Network) SetFaults(f Faults) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.faults = f
+}
+
+// SetMetrics mirrors the fabric's counters into a transport instrument block
+// (nil disables). Safe to call between pumping rounds.
+func (n *Network) SetMetrics(tm *obs.TransportMetrics) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.met = tm
 }
 
 // Endpoint returns (creating if needed) the endpoint for the given node.
@@ -118,10 +131,16 @@ func (n *Network) Step() bool {
 	}
 	if h == nil {
 		n.dropped[env.msg.Kind()]++
+		if n.met != nil {
+			n.met.MsgsDropped.Inc()
+		}
 		n.mu.Unlock()
 		return false
 	}
 	n.delivered[env.msg.Kind()]++
+	if n.met != nil {
+		n.met.MsgsReceived.Inc()
+	}
 	n.mu.Unlock()
 
 	// Deliver outside the lock. The handler returns its response sends as
@@ -234,11 +253,19 @@ func (n *Network) send(from, to ids.NodeID, msg wire.Message) error {
 // queue. Caller holds mu.
 func (n *Network) sendLocked(from, to ids.NodeID, msg wire.Message) {
 	n.sent[msg.Kind()]++
-	n.bytes += uint64(wire.EncodedSize(msg))
+	size := uint64(wire.EncodedSize(msg))
+	n.bytes += size
+	if n.met != nil {
+		n.met.MsgsSent.Inc()
+		n.met.BytesSent.Add(size)
+	}
 
 	if n.faults.affects(msg.Kind()) {
 		if n.faults.LossRate > 0 && n.rng.Float64() < n.faults.LossRate {
 			n.dropped[msg.Kind()]++
+			if n.met != nil {
+				n.met.MsgsDropped.Inc()
+			}
 			return // silently lost, as on a real network
 		}
 		copies := 1

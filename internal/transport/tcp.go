@@ -9,9 +9,11 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dgc/internal/ids"
+	"dgc/internal/obs"
 	"dgc/internal/wire"
 )
 
@@ -84,6 +86,11 @@ type TCPEndpoint struct {
 	stageDepth int
 	staged     map[ids.NodeID][]wire.Message
 
+	// met is the endpoint's transport instrument block. Initialized to a
+	// private registry so hot paths never nil-check; SetMetrics rebinds it to
+	// a scraped registry. Atomic because send and read paths race with it.
+	met atomic.Pointer[obs.TransportMetrics]
+
 	wg sync.WaitGroup
 }
 
@@ -109,6 +116,7 @@ func ListenTCP(self ids.NodeID, addr string, peers map[ids.NodeID]string) (*TCPE
 		staged:   make(map[ids.NodeID][]wire.Message),
 		ln:       ln,
 	}
+	e.met.Store(obs.NewTransportMetrics(obs.NewRegistry()))
 	for n, a := range peers {
 		e.peers[n] = a
 	}
@@ -131,6 +139,14 @@ func (e *TCPEndpoint) AddPeer(node ids.NodeID, addr string) {
 
 // Self implements Endpoint.
 func (e *TCPEndpoint) Self() ids.NodeID { return e.self }
+
+// SetMetrics rebinds the endpoint's transport instruments (typically to a
+// registry served by /metrics). A nil argument is ignored.
+func (e *TCPEndpoint) SetMetrics(tm *obs.TransportMetrics) {
+	if tm != nil {
+		e.met.Store(tm)
+	}
+}
 
 // SetHandler implements Endpoint.
 func (e *TCPEndpoint) SetHandler(h Handler) {
@@ -158,13 +174,26 @@ func (e *TCPEndpoint) Send(to ids.NodeID, msg wire.Message) error {
 }
 
 func (e *TCPEndpoint) sendNow(to ids.NodeID, msg wire.Message) error {
+	met := e.met.Load()
 	bp := framePool.Get().(*[]byte)
 	frame, err := e.buildFrame((*bp)[:0], msg)
 	if err != nil {
 		framePool.Put(bp)
+		met.SendErrors.Inc()
 		return err
 	}
 	err = e.writeFrameRetry(to, frame)
+	if err != nil {
+		met.SendErrors.Inc()
+	} else {
+		met.BytesSent.Add(uint64(len(frame)))
+		if b, ok := msg.(*wire.Batch); ok {
+			met.BatchesSent.Inc()
+			met.MsgsSent.Add(uint64(len(b.Msgs)))
+		} else {
+			met.MsgsSent.Inc()
+		}
+	}
 	*bp = frame[:0]
 	framePool.Put(bp)
 	return err
@@ -298,10 +327,12 @@ func (e *TCPEndpoint) connTo(to ids.NodeID) (*peerConn, error) {
 	}
 	e.mu.Unlock()
 
+	e.met.Load().Dials.Inc()
 	c, err := net.Dial("tcp", addr)
 
 	e.mu.Lock()
 	if err != nil {
+		e.met.Load().DialFailures.Inc()
 		ds := e.dialing[to]
 		if ds == nil {
 			ds = &dialState{}
@@ -350,6 +381,7 @@ func (e *TCPEndpoint) dropConn(to ids.NodeID) {
 	if pc, ok := e.conns[to]; ok {
 		delete(e.conns, to)
 		pc.c.Close()
+		e.met.Load().ConnsDropped.Inc()
 	}
 	e.mu.Unlock()
 }
@@ -396,18 +428,24 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
+		met := e.met.Load()
+		met.FramesReceived.Inc()
+		met.BytesReceived.Add(uint64(4 + n))
 		from, rest, ok := readLenString(payload)
 		if !ok {
+			met.DecodeErrors.Inc()
 			return
 		}
 		msg, err := wire.Decode(rest)
 		if err != nil {
+			met.DecodeErrors.Inc()
 			continue // malformed message: datagram semantics, skip it
 		}
 		e.mu.Lock()
 		h := e.h
 		e.mu.Unlock()
 		if h == nil {
+			met.MsgsDropped.Inc()
 			continue
 		}
 		// Batches are a framing construct: unpack and deliver individually,
@@ -415,6 +453,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		// The handler's response sends are staged across the whole batch so
 		// one inbound batch costs at most one outbound batch per peer.
 		if b, ok := msg.(*wire.Batch); ok {
+			met.MsgsReceived.Add(uint64(len(b.Msgs)))
 			e.BeginStage()
 			for _, sub := range b.Msgs {
 				e.transmit(h(ids.NodeID(from), sub))
@@ -422,6 +461,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 			e.FlushStage(nil)
 			continue
 		}
+		met.MsgsReceived.Inc()
 		e.transmit(h(ids.NodeID(from), msg))
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"dgc/internal/core"
 	"dgc/internal/ids"
+	"dgc/internal/obs"
 	"dgc/internal/wire"
 )
 
@@ -401,4 +402,70 @@ func TestTCPCloseJoinsReadLoops(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestTCPCDMTracePropagation pins the observability contract that a
+// detection's causal trace id rides the CDM unchanged across a real socket
+// hop: what the sender stamped is exactly what the receiving handler decodes.
+func TestTCPCDMTracePropagation(t *testing.T) {
+	a, _, _, cb := newTCPPair(t)
+	det := core.DetectionID{Origin: "P7", Seq: 3}
+	tr := core.TraceIDFor(det)
+	if tr == 0 {
+		t.Fatal("TraceIDFor returned zero")
+	}
+	msg := &wire.CDM{
+		Det: det, Along: ids.RefID{Src: "A", Dst: ids.GlobalRef{Node: "B", Obj: 4}}, Hops: 2, Trace: tr,
+		Entries: []wire.CDMEntry{
+			{Ref: ids.RefID{Src: "B", Dst: ids.GlobalRef{Node: "A", Obj: 1}}, InSource: true, SrcIC: 1},
+		},
+	}
+	if err := a.Send("B", msg); err != nil {
+		t.Fatal(err)
+	}
+	got := cb.waitFor(t, 1, 2*time.Second)
+	cdm, ok := got[0].(*wire.CDM)
+	if !ok {
+		t.Fatalf("received %T, want *wire.CDM", got[0])
+	}
+	if cdm.Trace != tr {
+		t.Fatalf("trace id mangled across the hop: got %#x, want %#x", cdm.Trace, tr)
+	}
+	if cdm.Det != det || cdm.Hops != 2 {
+		t.Fatalf("CDM identity changed: %+v", cdm)
+	}
+}
+
+// TestTCPMetrics exercises the transport instrument block over real sockets:
+// sends, receives, frames and byte counts all move, and SetMetrics rebinding
+// is observed by subsequent traffic.
+func TestTCPMetrics(t *testing.T) {
+	a, b, _, cb := newTCPPair(t)
+	reg := obs.NewRegistry()
+	a.SetMetrics(obs.NewTransportMetrics(reg))
+	breg := obs.NewRegistry()
+	b.SetMetrics(obs.NewTransportMetrics(breg))
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := a.Send("B", &wire.HughesThreshold{Threshold: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb.waitFor(t, n, 2*time.Second)
+	am, bm := a.met.Load(), b.met.Load()
+	if am.MsgsSent.Value() != n {
+		t.Fatalf("MsgsSent = %d, want %d", am.MsgsSent.Value(), n)
+	}
+	if am.BytesSent.Value() == 0 {
+		t.Fatal("BytesSent did not move")
+	}
+	if am.Dials.Value() == 0 {
+		t.Fatal("Dials did not move")
+	}
+	if bm.MsgsReceived.Value() != n {
+		t.Fatalf("MsgsReceived = %d, want %d", bm.MsgsReceived.Value(), n)
+	}
+	if bm.FramesReceived.Value() == 0 || bm.BytesReceived.Value() == 0 {
+		t.Fatal("receive-side frame/byte counters did not move")
+	}
 }

@@ -198,11 +198,15 @@ type CDMEntry struct {
 }
 
 // CDM is a cycle detection message: the detection identity, the reference it
-// travels along, the forwarding depth, and the algebra.
+// travels along, the forwarding depth, the causal trace id, and the algebra.
 type CDM struct {
-	Det     core.DetectionID
-	Along   ids.RefID
-	Hops    uint32
+	Det   core.DetectionID
+	Along ids.RefID
+	Hops  uint32
+	// Trace is the detection's causal trace id (core.TraceIDFor), carried
+	// unchanged across every hop so observability tooling can follow one
+	// detection through multiple processes.
+	Trace   uint64
 	Entries []CDMEntry
 
 	// src is the algebra the message was flattened from. Never encoded: it
@@ -223,6 +227,7 @@ func (m *CDM) encode(buf []byte) []byte {
 	buf = putUint(buf, m.Det.Seq)
 	buf = putRefID(buf, m.Along)
 	buf = putUint(buf, uint64(m.Hops))
+	buf = putUint(buf, m.Trace)
 	if m.Entries == nil && m.src != (core.Alg{}) {
 		// Lazily-flattened message (NewCDMFromAlg): encode straight off the
 		// algebra in canonical order — byte-identical to the eager path, no
@@ -254,7 +259,7 @@ func (m *CDM) encode(buf []byte) []byte {
 // accounting, TCP batch chunking), so the walk is worth skipping.
 func (m *CDM) encodedSize() int {
 	n := nodeSize(m.Det.Origin) + uvarintSize(m.Det.Seq) +
-		refIDSize(m.Along) + uvarintSize(uint64(m.Hops))
+		refIDSize(m.Along) + uvarintSize(uint64(m.Hops)) + uvarintSize(m.Trace)
 	if m.Entries == nil && m.src != (core.Alg{}) {
 		// Sizes are order-independent, so the lazy path walks the algebra
 		// unsorted.
@@ -282,6 +287,7 @@ func decodeCDM(r *reader) *CDM {
 		r.fail("hops %d overflows uint32", hops)
 	}
 	m.Hops = uint32(hops)
+	m.Trace = r.uint()
 	n := r.count()
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Entries = append(m.Entries, CDMEntry{
@@ -329,9 +335,9 @@ func NewCDMFromFlat(det core.DetectionID, along ids.RefID, alg core.Alg, entries
 // algebra, Entries stays nil, and the codec flattens during encode (which
 // in-process deliveries never reach). This is the detector fan-out's
 // constructor — one algebra shared across every peer's CDM, one allocation
-// per message.
-func NewCDMFromAlg(det core.DetectionID, along ids.RefID, alg core.Alg, hops int) *CDM {
-	return &CDM{Det: det, Along: along, Hops: uint32(hops), src: alg}
+// per message. trace is the detection's causal trace id (core.TraceIDFor).
+func NewCDMFromAlg(det core.DetectionID, along ids.RefID, alg core.Alg, hops int, trace uint64) *CDM {
+	return &CDM{Det: det, Along: along, Hops: uint32(hops), Trace: trace, src: alg}
 }
 
 // interned reports whether the message's entries carry cached interned ids

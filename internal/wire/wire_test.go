@@ -42,7 +42,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&CreateScionAck{ExportID: 5, From: "P2", OK: false, Err: "no such object"},
 		&NewSetStubs{Set: refs.StubSetMsg{From: "P1", Seq: 12, Objs: []ids.ObjID{1, 5, 9}}},
 		&NewSetStubs{Set: refs.StubSetMsg{From: "P1", Seq: 13}},
-		&CDM{Det: det, Along: r2, Hops: 3, Entries: []CDMEntry{
+		&CDM{Det: det, Along: r2, Hops: 3, Trace: 0xfeedface12345678, Entries: []CDMEntry{
 			{Ref: r1, InSource: true, SrcIC: 2},
 			{Ref: r2, InSource: true, SrcIC: 1, InTarget: true, TgtIC: 1},
 		}},
@@ -176,7 +176,10 @@ func TestNewCDMBytesMatchReference(t *testing.T) {
 		}
 		det := core.DetectionID{Origin: "P2", Seq: uint64(seed)}
 		along := ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P1", Obj: 1}}
-		got := Encode(NewCDM(det, along, alg, 3))
+		tr := core.TraceIDFor(det)
+		eager := NewCDM(det, along, alg, 3)
+		eager.Trace = tr
+		got := Encode(eager)
 
 		// Reference flattening: sorted map keys, exactly as the retired
 		// map-based NewCDM did it.
@@ -185,7 +188,7 @@ func TestNewCDMBytesMatchReference(t *testing.T) {
 			keys = append(keys, r)
 		}
 		ids.SortRefIDs(keys)
-		ref := &CDM{Det: det, Along: along, Hops: 3}
+		ref := &CDM{Det: det, Along: along, Hops: 3, Trace: tr}
 		for _, r := range keys {
 			e := mirror[r]
 			ref.Entries = append(ref.Entries, CDMEntry{
@@ -199,7 +202,7 @@ func TestNewCDMBytesMatchReference(t *testing.T) {
 
 		// The lazily-flattened constructor (what the detector fan-out sends)
 		// must produce the same bytes and the same size as the eager path.
-		lazy := NewCDMFromAlg(det, along, alg, 3)
+		lazy := NewCDMFromAlg(det, along, alg, 3, tr)
 		if lb := Encode(lazy); !bytes.Equal(lb, want) {
 			t.Fatalf("seed %d: lazy wire bytes differ\n got %x\nwant %x", seed, lb, want)
 		}
@@ -240,6 +243,7 @@ func TestEncodedSizeAndAppendEncode(t *testing.T) {
 			Det:   core.DetectionID{Origin: ids.NodeID(randName(rng)), Seq: randUint(rng)},
 			Along: randRefID(rng),
 			Hops:  uint32(randUint(rng)),
+			Trace: randUint(rng),
 		}
 		for i, n := 0, rng.Intn(6); i < n; i++ {
 			m.Entries = append(m.Entries, CDMEntry{

@@ -1,6 +1,10 @@
 package dgc_test
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -46,7 +50,15 @@ func TestLiveE2ECycleCollectedAcrossRestart(t *testing.T) {
 		}
 	}
 
-	cfg := dgc.Config{CallTimeoutTicks: 400, CandidateMinAge: 2}
+	// One metric set spans all three nodes and survives B's restart: the
+	// restored machine rebinds the same labeled series, so counters continue
+	// rather than reset.
+	metrics := dgc.NewMetricsSet()
+	for _, n := range names {
+		eps[n].SetMetrics(dgc.NewTransportMetrics(metrics.Node(string(n))))
+	}
+
+	cfg := dgc.Config{CallTimeoutTicks: 400, CandidateMinAge: 2, Metrics: metrics}
 	rcfg := dgc.RuntimeConfig{
 		Tick:             10 * time.Millisecond,
 		LGCInterval:      20 * time.Millisecond,
@@ -63,6 +75,35 @@ func TestLiveE2ECycleCollectedAcrossRestart(t *testing.T) {
 			eps[n].Close()
 		}
 	}()
+
+	// Serve the cluster's observability surface exactly as cmd/dgc-node does
+	// and scrape it over HTTP like a real collector would. The debug closure
+	// is only invoked from scrape(), which blocks this goroutine, so it never
+	// races the nodes-map mutation during B's restart below.
+	srv := httptest.NewServer(dgc.MetricsHandler(metrics, func() any {
+		out := map[string]any{}
+		for _, n := range names {
+			out[string(n)] = nodes[n].DebugSnapshot()
+		}
+		return out
+	}))
+	defer srv.Close()
+	scrape := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
 
 	// One anchor object per node; A's anchor is rooted while we build.
 	anchors := make(map[dgc.NodeID]dgc.GlobalRef, 3)
@@ -139,6 +180,15 @@ func TestLiveE2ECycleCollectedAcrossRestart(t *testing.T) {
 		return false
 	})
 
+	// Mid-run scrape: the full metric surface is live while detections are
+	// in flight, and the structural diagnostic serves every node.
+	if families := strings.Count(scrape("/metrics"), "# TYPE dgc_"); families < 15 {
+		t.Fatalf("only %d dgc_ metric families exposed mid-run", families)
+	}
+	if debug := scrape("/debug/dgc"); !strings.Contains(debug, `"node": "B"`) {
+		t.Fatalf("debug snapshot missing node structure:\n%s", debug)
+	}
+
 	// ...then kill B mid-detection: persist its collector state, stop its
 	// runtime and close its socket.
 	state, err := nodes["B"].Save()
@@ -160,6 +210,7 @@ func TestLiveE2ECycleCollectedAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	eps["B"] = epB
+	epB.SetMetrics(dgc.NewTransportMetrics(metrics.Node("B")))
 	rb, err := dgc.RestoreLiveRuntime(epB, cfg, rcfg, state)
 	if err != nil {
 		t.Fatal(err)
@@ -186,5 +237,23 @@ func TestLiveE2ECycleCollectedAcrossRestart(t *testing.T) {
 	}
 	if scions != 0 {
 		t.Fatalf("%d scions left after reclamation", scions)
+	}
+
+	// Final scrape: at least one node carried a detection from first sight to
+	// a terminal outcome, so a completed-detection latency sample exists; the
+	// transport series rode the same set the whole way.
+	final := scrape("/metrics")
+	sawSample := false
+	for _, line := range strings.Split(final, "\n") {
+		if strings.HasPrefix(line, "dgc_detection_latency_seconds_count{") &&
+			!strings.HasSuffix(line, " 0") {
+			sawSample = true
+		}
+	}
+	if !sawSample {
+		t.Fatal("no completed-detection latency sample after reclamation")
+	}
+	if !strings.Contains(final, "dgc_transport_msgs_sent_total") {
+		t.Fatal("transport series missing from the shared metric set")
 	}
 }
