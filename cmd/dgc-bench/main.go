@@ -325,8 +325,8 @@ func runSummarize(quick bool) error {
 	})
 }
 
-// runGCRound measures one settled cluster GC round, sequential versus the
-// parallel worker pool, landing the numbers in BENCH_gcround.json.
+// runGCRound measures one settled cluster GC round across the procs ×
+// workers matrix, landing the numbers in BENCH_gcround.json.
 func runGCRound(quick bool) error {
 	procs := []int{8, 32}
 	rounds := 5
@@ -334,6 +334,7 @@ func runGCRound(quick bool) error {
 		procs = []int{8}
 		rounds = 2
 	}
+	warnNumCPU("gcround")
 	rows, err := experiments.GCRoundScale(procs, rounds)
 	if err != nil {
 		return err
@@ -351,11 +352,22 @@ func runGCRound(quick bool) error {
 		return err
 	}
 	return writeJSON("BENCH_gcround.json", map[string]any{
-		"benchmark": "one settled cluster GC round, live ring + 2000-object chains + churn (best of rounds)",
+		"benchmark": "one settled cluster GC round, live ring + 2000-object chains + churn (best of rounds), procs x workers matrix",
 		"cpu":       "Intel Xeon @ 2.10GHz",
 		"num_cpu":   runtime.NumCPU(),
 		"rows":      rows,
 	})
+}
+
+// warnNumCPU flags scaling measurements recorded on a machine too narrow to
+// show parallel speedup: on fewer than 4 cores the worker-pool cells of the
+// matrix time-slice one another and the recorded curve is flat or worse.
+// The numbers are still recorded (honestly, with num_cpu alongside) — they
+// are just not evidence about scaling.
+func warnNumCPU(exp string) {
+	if n := runtime.NumCPU(); n < 4 {
+		fmt.Printf("WARNING: %s: runtime.NumCPU()=%d (<4); worker-pool cells measure scheduling overhead, not parallel speedup. Re-record on a >=8-core machine for the scaling claim.\n", exp, n)
+	}
 }
 
 // runDetect measures the detection-round and CDM-hop hot paths against the
@@ -422,6 +434,7 @@ func runDetect(quick bool) error {
 	return writeJSON("BENCH_detect.json", map[string]any{
 		"benchmark":            "DCDA detection rounds on a garbage ring (best of reps) + single CDM hop derivation",
 		"cpu":                  "Intel Xeon @ 2.10GHz",
+		"num_cpu":              runtime.NumCPU(),
 		"before_map_algebra":   baseline,
 		"after_interned":       rows,
 		"before_hop":           hopBase,

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dgc/internal/heap"
 	"dgc/internal/ids"
@@ -102,10 +103,12 @@ func (c *Cluster) Tick(rounds int) {
 
 // SetWorkers bounds the worker pool used by the parallel GC phases.
 // 0 restores the default (runtime.NumCPU); 1 forces sequential execution.
-// Parallel runs are bit-identical to sequential ones — see runPhase.
+// Negative counts are rejected with a panic — they have no meaning, and
+// silently clamping them used to mask caller bugs. Parallel runs are
+// bit-identical to sequential ones — see runPhase.
 func (c *Cluster) SetWorkers(k int) {
 	if k < 0 {
-		k = 0
+		panic(fmt.Sprintf("cluster: SetWorkers(%d): worker count must be >= 0", k))
 	}
 	c.workers = k
 }
@@ -113,11 +116,13 @@ func (c *Cluster) SetWorkers(k int) {
 // runPhase applies fn to every node. The phases of a GC round are
 // node-independent — each call touches only its own node's state and sends
 // messages, and no message is delivered until the next Settle — so fn runs
-// on a bounded worker pool. Determinism is preserved by staging: the fabric
-// captures sends per source while the pool runs, then FlushStage replays
-// them in canonical node order through fault injection and the queue, so the
-// queue contents and the fault randomness stream are bit-identical to
-// running the phase sequentially.
+// on a pool of w workers that claim nodes off a shared cursor, each node
+// owned end to end by one goroutine. Determinism is preserved by the
+// fabric's phase mode: every endpoint captures its own sends (stamped with
+// per-edge sequence numbers) without touching shared fabric state, and
+// EndPhase merges them in canonical sender order through fault injection and
+// the queue, so the queue contents and the fault-randomness stream are
+// bit-identical to running the phase sequentially.
 func (c *Cluster) runPhase(fn func(n *node.Node) error) {
 	w := c.workers
 	if w == 0 {
@@ -134,22 +139,25 @@ func (c *Cluster) runPhase(fn func(n *node.Node) error) {
 		}
 		return
 	}
-	c.Net.BeginStage()
+	c.Net.BeginPhase()
 	errs := make([]error, len(c.order))
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, w)
-	for i, id := range c.order {
-		i, n := i, c.nodes[id]
-		sem <- struct{}{}
+	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(n)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(c.order) {
+					return
+				}
+				errs[i] = fn(c.nodes[c.order[i]])
+			}
 		}()
 	}
 	wg.Wait()
-	c.Net.FlushStage(c.order)
+	c.Net.EndPhase()
 	for i, err := range errs {
 		if err != nil {
 			panic(fmt.Sprintf("cluster: %s: %v", c.order[i], err))
@@ -158,10 +166,15 @@ func (c *Cluster) runPhase(fn func(n *node.Node) error) {
 }
 
 // GCRound runs one explicit, fully-settled collection round on every node:
-// local collections (emitting NewSetStubs), then summarizations, then
-// detections. Used by tests that drive the collectors manually instead of
-// through Tick. Each phase runs on the parallel worker pool (see runPhase);
-// results are identical to the sequential schedule.
+// local collections (emitting NewSetStubs), then summarization and detection
+// fused into one parallel pass. Summarization emits no messages, so running
+// a node's detection immediately after its own summarization — while other
+// nodes are still summarizing — changes no message order and no outcome, and
+// keeps each node under a single worker end to end instead of paying a
+// cluster-wide barrier between the two. Used by tests that drive the
+// collectors manually instead of through Tick. Each phase runs on the
+// parallel worker pool (see runPhase); results are identical to the
+// sequential schedule.
 func (c *Cluster) GCRound() {
 	c.runPhase(func(n *node.Node) error {
 		n.RunLGC()
@@ -172,9 +185,6 @@ func (c *Cluster) GCRound() {
 		if err := n.Summarize(); err != nil {
 			return fmt.Errorf("summarize: %w", err)
 		}
-		return nil
-	})
-	c.runPhase(func(n *node.Node) error {
 		n.RunDetection()
 		return nil
 	})

@@ -93,10 +93,11 @@ func TestParallelCollectFully(t *testing.T) {
 	}
 }
 
-// TestStagingCapturesAndFlushesInOrder exercises the transport staging
-// primitive directly: sends made while staging are not queued, and flushing
-// replays them in the requested source order.
-func TestStagingCapturesAndFlushesInOrder(t *testing.T) {
+// TestPhaseCapturesAndMergesCanonically exercises the transport phase
+// primitive directly: sends made inside a phase are captured off the shared
+// queue, and EndPhase merges them in canonical sender order regardless of
+// the order the sends happened in.
+func TestPhaseCapturesAndMergesCanonically(t *testing.T) {
 	net := transport.NewNetwork(1)
 	var got []ids.NodeID
 	for _, id := range []ids.NodeID{"A", "B", "C"} {
@@ -106,8 +107,8 @@ func TestStagingCapturesAndFlushesInOrder(t *testing.T) {
 			return nil
 		})
 	}
-	net.BeginStage()
-	// Send in anti-canonical source order; flush must restore canonical.
+	net.BeginPhase()
+	// Send in anti-canonical source order; the merge must restore canonical.
 	if err := net.Endpoint("C").Send("A", &wire.HughesStamp{}); err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +119,11 @@ func TestStagingCapturesAndFlushesInOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	if net.Pending() != 0 {
-		t.Fatalf("staged sends leaked into the queue: %d pending", net.Pending())
+		t.Fatalf("phase sends leaked into the queue: %d pending", net.Pending())
 	}
-	net.FlushStage([]ids.NodeID{"A", "B", "C"})
+	net.EndPhase()
 	if net.Pending() != 3 {
-		t.Fatalf("flush enqueued %d messages, want 3", net.Pending())
+		t.Fatalf("merge enqueued %d messages, want 3", net.Pending())
 	}
 	net.Drain(0)
 	want := []ids.NodeID{"A", "B", "C"}

@@ -273,30 +273,68 @@ func (a Alg) Each(fn func(ids.RefID, Entry) bool) {
 // (RefID.Less) order over all references interned so far. Restricting the
 // ranks to any subset of references preserves their canonical relative order,
 // so sorting algebra entries by rank is an integer sort that yields exactly
-// the string order — the wire flattener's hot path. The table is rebuilt
-// (rarely) when the interner has grown since the last use and published
-// through an atomic pointer, so readers never lock.
+// the string order — the wire flattener's hot path.
+//
+// The cache is published through an atomic pointer, so readers never lock.
+// Coverage is checked per interner shard: the cache records the per-shard id
+// counts it was built from, and a caller's snapshot exceeding any of them
+// proves new ids exist (shard counters are monotone, and a caller always
+// observes the counts covering its own entries' ids). A per-shard check is
+// required — comparing only the summed total could, under concurrent
+// assignment, balance a stale low read of one shard against a fresh high
+// read of another and wrongly validate a stale table.
+//
+// Rebuilds are incremental: only ids assigned since the cached generation
+// are sorted (O(new log new)) and merged with the previous canonical order
+// (O(n)), instead of re-sorting the whole table. With sharded interleaved
+// id spaces the ranks slice has holes at unassigned ids; they are never
+// read, because every queried id comes from an algebra entry.
+type rankCache struct {
+	ranks  []int32                 // id -> canonical rank, holes unassigned
+	sorted []int32                 // assigned ids in canonical order
+	lens   [ids.InternShards]int32 // per-shard id counts at build time
+}
+
 var (
 	canonMu  sync.Mutex
-	canonPtr atomic.Pointer[[]int32]
+	canonPtr atomic.Pointer[rankCache]
 )
 
+// covers reports whether a cache built at lens still covers a current
+// shard-count snapshot.
+func (c *rankCache) covers(cur [ids.InternShards]int32) bool {
+	for s, n := range cur {
+		if n > c.lens[s] {
+			return false
+		}
+	}
+	return true
+}
+
 func canonRanks() []int32 {
-	n := refTab.Len()
-	if p := canonPtr.Load(); p != nil && len(*p) >= n {
-		return *p
+	cur := refTab.ShardLens()
+	if c := canonPtr.Load(); c != nil && c.covers(cur) {
+		return c.ranks
 	}
 	canonMu.Lock()
 	defer canonMu.Unlock()
-	n = refTab.Len()
-	if p := canonPtr.Load(); p != nil && len(*p) >= n {
-		return *p
+	cur = refTab.ShardLens()
+	prev := canonPtr.Load()
+	if prev != nil && prev.covers(cur) {
+		return prev.ranks
 	}
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
+	var prevSorted []int32
+	var prevLens [ids.InternShards]int32
+	if prev != nil {
+		prevSorted, prevLens = prev.sorted, prev.lens
 	}
-	slices.SortFunc(order, func(x, y int32) int {
+	fresh := make([]int32, 0, 64)
+	for s := 0; s < ids.InternShards; s++ {
+		for local := prevLens[s]; local < cur[s]; local++ {
+			fresh = append(fresh, local*ids.InternShards+int32(s))
+		}
+	}
+	less := func(x, y int32) int {
 		rx, ry := refTab.Ref(x), refTab.Ref(y)
 		if rx.Less(ry) {
 			return -1
@@ -305,12 +343,27 @@ func canonRanks() []int32 {
 			return 1
 		}
 		return 0
-	})
-	ranks := make([]int32, n)
-	for rank, id := range order {
+	}
+	slices.SortFunc(fresh, less)
+	sorted := make([]int32, 0, len(prevSorted)+len(fresh))
+	i, j := 0, 0
+	for i < len(prevSorted) && j < len(fresh) {
+		if less(prevSorted[i], fresh[j]) < 0 {
+			sorted = append(sorted, prevSorted[i])
+			i++
+		} else {
+			sorted = append(sorted, fresh[j])
+			j++
+		}
+	}
+	sorted = append(sorted, prevSorted[i:]...)
+	sorted = append(sorted, fresh[j:]...)
+	ranks := make([]int32, ids.InternBound(cur))
+	for rank, id := range sorted {
 		ranks[id] = int32(rank)
 	}
-	canonPtr.Store(&ranks)
+	c := &rankCache{ranks: ranks, sorted: sorted, lens: cur}
+	canonPtr.Store(c)
 	return ranks
 }
 
@@ -686,13 +739,28 @@ const (
 	prime64  = 1099511628211
 )
 
-// fpPrefix caches, per interned reference id, the FNV-1a state after mixing
+// fpChunkSize is the slot count of one fingerprint-prefix cache chunk.
+const fpChunkSize = 1024
+
+type fpChunk [fpChunkSize]atomic.Uint64
+
+// fpSpine caches, per interned reference id, the FNV-1a state after mixing
 // the reference's strings — the expensive, entry-independent part of the
-// per-entry hash. Guarded by fpMu; grows monotonically with the interner.
+// per-entry hash. Slots are plain atomics in copy-on-write chunked storage:
+// readers take no lock at all (the former RWMutex was read-locked once per
+// entry per Fingerprint, a measurable serialization point under parallel
+// detection). A zero slot means "not computed yet"; the prefix is a pure
+// function of the reference, so racing fillers store the same value and a
+// genuine zero-valued hash merely recomputes. fpGrowMu serializes spine
+// growth only.
 var (
-	fpMu     sync.RWMutex
-	fpPrefix []uint64
+	fpGrowMu sync.Mutex
+	fpSpine  atomic.Pointer[[]*fpChunk]
 )
+
+func init() {
+	fpSpine.Store(&[]*fpChunk{})
+}
 
 func fpMix(h uint64, s string) uint64 {
 	for i := 0; i < len(s); i++ {
@@ -714,24 +782,30 @@ func fpMixU(h, v uint64) uint64 {
 }
 
 func fpRefPrefix(id int32) uint64 {
-	fpMu.RLock()
-	if int(id) < len(fpPrefix) {
-		p := fpPrefix[id]
-		fpMu.RUnlock()
-		return p
+	ci, si := int(id)/fpChunkSize, int(id)%fpChunkSize
+	spine := *fpSpine.Load()
+	if ci >= len(spine) {
+		fpGrowMu.Lock()
+		spine = *fpSpine.Load()
+		for ci >= len(spine) {
+			grown := make([]*fpChunk, len(spine), len(spine)+1)
+			copy(grown, spine)
+			grown = append(grown, new(fpChunk))
+			fpSpine.Store(&grown)
+			spine = grown
+		}
+		fpGrowMu.Unlock()
 	}
-	fpMu.RUnlock()
-	fpMu.Lock()
-	for int32(len(fpPrefix)) <= id {
-		r := refTab.Ref(int32(len(fpPrefix)))
-		h := fpMix(uint64(offset64), string(r.Src))
-		h = fpMix(h, string(r.Dst.Node))
-		h = fpMixU(h, uint64(r.Dst.Obj))
-		fpPrefix = append(fpPrefix, h)
+	slot := &spine[ci][si]
+	if h := slot.Load(); h != 0 {
+		return h
 	}
-	p := fpPrefix[id]
-	fpMu.Unlock()
-	return p
+	r := refTab.Ref(id)
+	h := fpMix(uint64(offset64), string(r.Src))
+	h = fpMix(h, string(r.Dst.Node))
+	h = fpMixU(h, uint64(r.Dst.Obj))
+	slot.Store(h)
+	return h
 }
 
 // Fingerprint returns an order-independent 64-bit hash of the algebra's

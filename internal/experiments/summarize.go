@@ -134,16 +134,22 @@ type GCRoundRow struct {
 }
 
 // GCRoundScale measures the wall-clock cost of one fully-settled GC round
-// on an n-process live ring with per-node local churn, once on the
-// sequential schedule (workers=1) and once on the full worker pool
-// (workers=0): the speedup from parallelizing the node-independent phases.
+// on an n-process live ring with per-node local churn, across a worker-pool
+// matrix from the sequential schedule (workers=1) through fixed pool sizes
+// to the full pool (workers=0): the scaling curve of the node-parallel
+// phases. Pool sizes above the process count are skipped — runPhase clamps
+// the pool to the node count, so those cells would duplicate the full-pool
+// row.
 func GCRoundScale(procs []int, rounds int) ([]GCRoundRow, error) {
 	if rounds < 1 {
 		rounds = 1
 	}
 	var rows []GCRoundRow
 	for _, p := range procs {
-		for _, workers := range []int{1, 0} {
+		for _, workers := range []int{1, 2, 4, 8, 0} {
+			if workers > p {
+				continue
+			}
 			c := cluster.New(11, node.Config{})
 			c.SetWorkers(workers)
 			if _, err := c.Materialize(workload.LiveRing(p, 2), node.Config{}); err != nil {

@@ -113,7 +113,7 @@ func (r *LiveRuntime) DebugSnapshot() DebugSnapshot {
 	snap.Mailbox = &MailboxStats{
 		Depth:    len(r.mailbox),
 		Capacity: r.rcfg.Mailbox,
-		Dropped:  r.droppedInbound.Load(),
+		Dropped:  r.mach.met.MailboxDropped.Value(),
 	}
 	return snap
 }

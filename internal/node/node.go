@@ -168,7 +168,7 @@ func (n *Node) transmit(outs []transport.Envelope) {
 	}
 	if st, ok := n.ep.(transport.Stager); ok && len(outs) > 1 {
 		st.BeginStage()
-		defer st.FlushStage(nil)
+		defer st.FlushStage()
 	}
 	for _, o := range outs {
 		_ = n.ep.Send(o.To, o.Msg)

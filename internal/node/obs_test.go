@@ -10,8 +10,8 @@ import (
 
 // TestLiveRuntimeMailboxOverflow pins the drop-on-full contract: with the
 // loop wedged and the mailbox at capacity, inbound transport deliveries are
-// discarded (counted in both DroppedInbound and the dgc_mailbox_dropped_total
-// metric), and the runtime keeps serving once unwedged.
+// discarded — counted once, in the dgc_mailbox_dropped_total metric, which
+// DroppedInbound reads back — and the runtime keeps serving once unwedged.
 func TestLiveRuntimeMailboxOverflow(t *testing.T) {
 	const cap = 4
 	r := NewLiveRuntime("A", nil, Config{}, RuntimeConfig{Tick: time.Hour, Mailbox: cap})

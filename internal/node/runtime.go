@@ -37,6 +37,19 @@ type RuntimeConfig struct {
 	// read loop instead could deadlock a cycle of full nodes); local API
 	// calls always block until queued. Default 1024.
 	Mailbox int
+
+	// Backpressure enables credit-based flow control on the outbound path:
+	// at most CreditWindow messages may be in flight per destination edge
+	// beyond what the peer has acknowledged consuming. Excess messages park
+	// on the sender (counted by dgc_credit_stalls_total / dgc_credit_pending)
+	// until a grant opens the window, so a slow peer throttles its producers
+	// instead of having its mailbox shed load. Enable it cluster-wide: a
+	// backpressured sender needs its peers to announce grants back.
+	Backpressure bool
+
+	// CreditWindow is the per-edge in-flight message budget when
+	// Backpressure is on. Default 256.
+	CreditWindow int
 }
 
 func (c RuntimeConfig) withDefaults() RuntimeConfig {
@@ -45,6 +58,9 @@ func (c RuntimeConfig) withDefaults() RuntimeConfig {
 	}
 	if c.Mailbox <= 0 {
 		c.Mailbox = 1024
+	}
+	if c.CreditWindow <= 0 {
+		c.CreditWindow = 256
 	}
 	return c
 }
@@ -89,9 +105,35 @@ type LiveRuntime struct {
 	closed    bool
 	closeOnce sync.Once
 
-	// droppedInbound counts transport deliveries discarded because the
-	// mailbox was full.
-	droppedInbound atomic.Uint64
+	// consumedByPeer counts inbound messages per source edge when
+	// backpressure is on — accepted AND dropped both, since a message shed
+	// on overflow still left the peer's window (never refunding it would
+	// leak window capacity until the edge wedged shut). Keys are ids.NodeID,
+	// values *atomic.Uint64; written from the transport's delivery
+	// goroutine, read by the loop's grant announcements.
+	consumedByPeer sync.Map
+
+	// credits is the sender-side window state per destination edge; owned
+	// by the loop goroutine.
+	credits map[ids.NodeID]*creditEdge
+}
+
+// creditEdge tracks one destination's flow-control window on the sender
+// side: cumulative messages admitted to the transport, the peer's latest
+// cumulative consumed grant, and messages parked while the window is shut.
+type creditEdge struct {
+	sent    uint64
+	acked   uint64
+	pending []wire.Message
+}
+
+// inflight is the window occupancy, saturating at 0 while an over-claiming
+// grant (acked transiently above sent inside applyCredit) is being drained.
+func (e *creditEdge) inflight() uint64 {
+	if e.acked >= e.sent {
+		return 0
+	}
+	return e.sent - e.acked
 }
 
 // NewLiveRuntime assembles a live node over the endpoint and starts its
@@ -138,10 +180,29 @@ func (r *LiveRuntime) handleMessage(from ids.NodeID, msg wire.Message) []transpo
 	select {
 	case r.mailbox <- rtEvent{from: from, msg: msg}:
 	default:
-		r.droppedInbound.Add(1)
 		r.mach.met.MailboxDropped.Inc()
+		// A shed message still spends the peer's window: count it consumed
+		// right here (it will never reach the loop), or the edge's window
+		// capacity would leak away drop by drop until it wedged shut.
+		r.creditConsumed(from, msg)
 	}
 	return nil
+}
+
+// creditConsumed advances the inbound consumed counter for the edge a
+// message arrived on. Called by the loop as it processes each inbound
+// message — credits replenish on consumption, so the sender's window covers
+// both the transport AND this node's mailbox backlog — and by handleMessage
+// for messages shed on overflow. Credit traffic itself is exempt.
+func (r *LiveRuntime) creditConsumed(from ids.NodeID, msg wire.Message) {
+	if !r.rcfg.Backpressure || msg.Kind() == wire.KindCredit {
+		return
+	}
+	v, ok := r.consumedByPeer.Load(from)
+	if !ok {
+		v, _ = r.consumedByPeer.LoadOrStore(from, new(atomic.Uint64))
+	}
+	v.(*atomic.Uint64).Add(1)
 }
 
 // do submits a local call to the loop and blocks until its effects are on
@@ -189,6 +250,7 @@ func (r *LiveRuntime) loop() {
 		case <-tick.C:
 			r.mach.AdvanceClock()
 			r.flush()
+			r.announceCredits()
 		case <-lgcC:
 			r.mach.RunLGC()
 			r.flush()
@@ -231,12 +293,18 @@ func (r *LiveRuntime) stopDaemonTickers() {
 }
 
 // consume feeds one event to the machine and transmits its effects before
-// signalling completion.
+// signalling completion. Credit grants are a runtime-level concern and are
+// intercepted before the machine sees them.
 func (r *LiveRuntime) consume(ev rtEvent) {
 	r.mach.met.MailboxDepth.Set(int64(len(r.mailbox)))
 	switch {
 	case ev.msg != nil:
+		if c, ok := ev.msg.(*wire.Credit); ok {
+			r.applyCredit(ev.from, c)
+			break
+		}
 		r.mach.HandleMessage(ev.from, ev.msg)
+		r.creditConsumed(ev.from, ev.msg)
 	case ev.fn != nil:
 		ev.fn(r.mach)
 	}
@@ -247,7 +315,10 @@ func (r *LiveRuntime) consume(ev rtEvent) {
 }
 
 // flush transmits the machine's accumulated effects in production order,
-// staging multi-message bursts into one batch frame per peer.
+// staging multi-message bursts into one batch frame per peer. Under
+// backpressure, messages to an exhausted edge park in per-edge FIFO queues
+// instead of entering the transport; applyCredit drains them when the peer
+// grants window back.
 func (r *LiveRuntime) flush() {
 	outs := r.mach.TakeEffects()
 	if len(outs) == 0 || r.ep == nil {
@@ -255,11 +326,91 @@ func (r *LiveRuntime) flush() {
 	}
 	if st, ok := r.ep.(transport.Stager); ok && len(outs) > 1 {
 		st.BeginStage()
-		defer st.FlushStage(nil)
+		defer st.FlushStage()
+	}
+	if !r.rcfg.Backpressure {
+		for _, o := range outs {
+			_ = r.ep.Send(o.To, o.Msg)
+		}
+		return
 	}
 	for _, o := range outs {
+		e := r.creditEdgeFor(o.To)
+		// FIFO per edge: once anything is parked, everything after it parks
+		// too, or the peer would see reordered protocol traffic.
+		if len(e.pending) > 0 || e.inflight() >= uint64(r.rcfg.CreditWindow) {
+			e.pending = append(e.pending, o.Msg)
+			r.mach.met.CreditStalls.Inc()
+			continue
+		}
+		e.sent++
 		_ = r.ep.Send(o.To, o.Msg)
 	}
+	r.updateCreditPending()
+}
+
+// creditEdgeFor returns (allocating on first use) the window state for one
+// destination. Loop goroutine only.
+func (r *LiveRuntime) creditEdgeFor(to ids.NodeID) *creditEdge {
+	e := r.credits[to]
+	if e == nil {
+		if r.credits == nil {
+			r.credits = make(map[ids.NodeID]*creditEdge)
+		}
+		e = &creditEdge{}
+		r.credits[to] = e
+	}
+	return e
+}
+
+// applyCredit merges an inbound grant into the edge's window and drains as
+// many parked messages as the new window admits. Grants carry cumulative
+// consumed counts and merge by maximum, so duplicated, reordered or lost
+// Credit messages never corrupt the window — the next grant restates it.
+func (r *LiveRuntime) applyCredit(from ids.NodeID, c *wire.Credit) {
+	e := r.creditEdgeFor(from)
+	if c.Consumed <= e.acked {
+		return
+	}
+	e.acked = c.Consumed
+	n := 0
+	for ; n < len(e.pending) && e.inflight() < uint64(r.rcfg.CreditWindow); n++ {
+		e.sent++
+		_ = r.ep.Send(from, e.pending[n])
+	}
+	if n > 0 {
+		e.pending = append(e.pending[:0], e.pending[n:]...)
+		r.updateCreditPending()
+	}
+	if e.acked > e.sent {
+		// A peer cannot have consumed more than we sent; clamp (after the
+		// drain, so the window it opened is fully used) rather than carry an
+		// over-claim around as permanent extra window. Reachable when a peer
+		// restarts with stale counts or misattributes an edge.
+		e.acked = e.sent
+	}
+}
+
+// announceCredits re-broadcasts every inbound edge's cumulative consumed
+// count. Ticking unconditionally — not only on change — is the loss
+// recovery: a dropped grant merely delays the window one tick.
+func (r *LiveRuntime) announceCredits() {
+	if !r.rcfg.Backpressure || r.ep == nil {
+		return
+	}
+	r.consumedByPeer.Range(func(k, v any) bool {
+		_ = r.ep.Send(k.(ids.NodeID), &wire.Credit{Consumed: v.(*atomic.Uint64).Load()})
+		r.mach.met.CreditGrants.Inc()
+		return true
+	})
+}
+
+func (r *LiveRuntime) updateCreditPending() {
+	total := 0
+	for _, e := range r.credits {
+		total += len(e.pending)
+	}
+	r.mach.met.CreditPending.Set(int64(total))
 }
 
 // Close detaches the runtime from its endpoint, stops the loop and waits
@@ -281,8 +432,10 @@ func (r *LiveRuntime) Close() error {
 }
 
 // DroppedInbound reports transport deliveries discarded on mailbox
-// overflow since the runtime started.
-func (r *LiveRuntime) DroppedInbound() uint64 { return r.droppedInbound.Load() }
+// overflow since the runtime started. It reads the
+// dgc_mailbox_dropped_total counter — the metric is the single source of
+// truth for drop accounting (a shadow field here once drifted from it).
+func (r *LiveRuntime) DroppedInbound() uint64 { return r.mach.met.MailboxDropped.Value() }
 
 // ID returns the node identifier.
 func (r *LiveRuntime) ID() ids.NodeID { return r.mach.ID() }

@@ -68,6 +68,12 @@ type NodeMetrics struct {
 	MailboxDepth    *Gauge
 	MailboxCapacity *Gauge
 	MailboxDropped  *Counter
+
+	// LiveRuntime credit backpressure (static zero when
+	// RuntimeConfig.Backpressure is off).
+	CreditStalls  *Counter
+	CreditPending *Gauge
+	CreditGrants  *Counter
 }
 
 // NewNodeMetrics registers (or rebinds) the node instrument block on reg.
@@ -110,6 +116,10 @@ func NewNodeMetrics(reg *Registry) *NodeMetrics {
 		MailboxDepth:    reg.Gauge("dgc_mailbox_depth", "Runtime mailbox occupancy at last consume."),
 		MailboxCapacity: reg.Gauge("dgc_mailbox_capacity", "Runtime mailbox capacity."),
 		MailboxDropped:  reg.Counter("dgc_mailbox_dropped_total", "Inbound transport deliveries dropped on mailbox overflow."),
+
+		CreditStalls:  reg.Counter("dgc_credit_stalls_total", "Outbound messages parked because a peer's credit window was exhausted."),
+		CreditPending: reg.Gauge("dgc_credit_pending", "Outbound messages currently parked awaiting credit."),
+		CreditGrants:  reg.Counter("dgc_credit_grants_total", "Credit grants announced to peers."),
 	}
 }
 

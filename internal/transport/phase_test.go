@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dgc/internal/ids"
+	"dgc/internal/wire"
+)
+
+// TestPhasePerEdgeFIFO is the ordering property of the fabric's parallel
+// phase mode, run under -race: many sender goroutines (one per endpoint, as
+// in the cluster's worker pool) send numbered messages to several
+// destinations concurrently inside a phase. After the merge, every edge
+// (sender, destination) must deliver its messages in exactly the sender's
+// program order — distinct edges may interleave freely, one edge never
+// reorders.
+func TestPhasePerEdgeFIFO(t *testing.T) {
+	const (
+		senders = 6
+		dests   = 3
+		perEdge = 40
+	)
+	net := NewNetwork(1)
+	type edge struct{ from, to ids.NodeID }
+	var mu sync.Mutex
+	got := make(map[edge][]uint64)
+
+	var allSenders, allDests []ids.NodeID
+	for s := 0; s < senders; s++ {
+		allSenders = append(allSenders, ids.NodeID(fmt.Sprintf("S%d", s)))
+	}
+	for d := 0; d < dests; d++ {
+		allDests = append(allDests, ids.NodeID(fmt.Sprintf("D%d", d)))
+	}
+	for _, d := range allDests {
+		to := d
+		net.Endpoint(to).SetHandler(func(from ids.NodeID, msg wire.Message) []Envelope {
+			mu.Lock()
+			got[edge{from, to}] = append(got[edge{from, to}], msg.(*wire.HughesStamp).Stamp)
+			mu.Unlock()
+			return nil
+		})
+	}
+
+	eps := make([]*InprocEndpoint, senders)
+	for i, s := range allSenders {
+		eps[i] = net.Endpoint(s)
+	}
+
+	net.BeginPhase()
+	var wg sync.WaitGroup
+	for i := range eps {
+		wg.Add(1)
+		go func(ep *InprocEndpoint, i int) {
+			defer wg.Done()
+			// Interleave destinations so each edge's sends are spread across
+			// the sender's whole outbox, not contiguous runs.
+			for k := 0; k < perEdge; k++ {
+				for d := 0; d < dests; d++ {
+					to := allDests[(d+i)%dests]
+					if err := ep.Send(to, &wire.HughesStamp{Stamp: uint64(k)}); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}
+		}(eps[i], i)
+	}
+	wg.Wait()
+	if net.Pending() != 0 {
+		t.Fatalf("phase sends leaked into the queue: %d pending", net.Pending())
+	}
+	net.EndPhase()
+	want := senders * dests * perEdge
+	if net.Pending() != want {
+		t.Fatalf("merged %d messages, want %d", net.Pending(), want)
+	}
+	net.Drain(0)
+
+	if len(got) != senders*dests {
+		t.Fatalf("saw %d edges, want %d", len(got), senders*dests)
+	}
+	for e, stamps := range got {
+		if len(stamps) != perEdge {
+			t.Fatalf("edge %s->%s delivered %d messages, want %d", e.from, e.to, len(stamps), perEdge)
+		}
+		for k, s := range stamps {
+			if s != uint64(k) {
+				t.Fatalf("edge %s->%s reordered: position %d carries stamp %d", e.from, e.to, k, s)
+			}
+		}
+	}
+}
+
+// TestPhaseDistinctEdgesInterleave pins the other half of the contract: the
+// canonical merge orders whole sender outboxes by sender id, so messages on
+// distinct edges DO interleave relative to wall-clock send order — the
+// fabric promises per-edge FIFO, not a global total order of send times.
+func TestPhaseDistinctEdgesInterleave(t *testing.T) {
+	net := NewNetwork(1)
+	var order []string
+	net.Endpoint("D").SetHandler(func(from ids.NodeID, msg wire.Message) []Envelope {
+		order = append(order, fmt.Sprintf("%s:%d", from, msg.(*wire.HughesStamp).Stamp))
+		return nil
+	})
+	a, b := net.Endpoint("A"), net.Endpoint("B")
+
+	net.BeginPhase()
+	// Wall-clock order: B:0, A:0, B:1, A:1 — but the merge is canonical.
+	_ = b.Send("D", &wire.HughesStamp{Stamp: 0})
+	_ = a.Send("D", &wire.HughesStamp{Stamp: 0})
+	_ = b.Send("D", &wire.HughesStamp{Stamp: 1})
+	_ = a.Send("D", &wire.HughesStamp{Stamp: 1})
+	net.EndPhase()
+	net.Drain(0)
+
+	want := []string{"A:0", "A:1", "B:0", "B:1"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("delivery order %v, want canonical %v", order, want)
+	}
+}
+
+// TestPhaseReusableAcrossRounds checks the per-edge sequence counters and
+// outboxes survive BeginPhase/EndPhase cycles (a cluster runs two phases per
+// GC round, forever).
+func TestPhaseReusableAcrossRounds(t *testing.T) {
+	net := NewNetwork(1)
+	delivered := 0
+	net.Endpoint("D").SetHandler(func(ids.NodeID, wire.Message) []Envelope {
+		delivered++
+		return nil
+	})
+	ep := net.Endpoint("A")
+	for round := 0; round < 5; round++ {
+		net.BeginPhase()
+		for k := 0; k < 3; k++ {
+			if err := ep.Send("D", &wire.HughesStamp{Stamp: uint64(k)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.EndPhase()
+		net.Drain(0)
+	}
+	if delivered != 15 {
+		t.Fatalf("delivered %d, want 15", delivered)
+	}
+}
+
+// TestPhaseNestedBeginPanics pins the misuse guards.
+func TestPhaseNestedBeginPanics(t *testing.T) {
+	net := NewNetwork(1)
+	net.BeginPhase()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested BeginPhase did not panic")
+			}
+		}()
+		net.BeginPhase()
+	}()
+	net.EndPhase()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EndPhase without BeginPhase did not panic")
+			}
+		}()
+		net.EndPhase()
+	}()
+}

@@ -247,11 +247,10 @@ func (e *TCPEndpoint) BeginStage() {
 }
 
 // FlushStage implements Stager: ships everything staged since BeginStage,
-// one batch frame per destination (chunked at batchChunk). Peers listed in
-// order are flushed first, in that order; stragglers follow. Write failures
-// follow Send semantics: one redial retry, then the traffic to that peer is
-// dropped (the protocol stack tolerates loss).
-func (e *TCPEndpoint) FlushStage(order []ids.NodeID) {
+// one batch frame per destination (chunked at batchChunk), destinations in
+// sorted order. Write failures follow Send semantics: one redial retry, then
+// the traffic to that peer is dropped (the protocol stack tolerates loss).
+func (e *TCPEndpoint) FlushStage() {
 	e.stageMu.Lock()
 	if e.stageDepth == 0 {
 		e.stageMu.Unlock()
@@ -266,19 +265,13 @@ func (e *TCPEndpoint) FlushStage(order []ids.NodeID) {
 	e.staged = make(map[ids.NodeID][]wire.Message)
 	e.stageMu.Unlock()
 
-	flushed := make(map[ids.NodeID]bool, len(staged))
-	for _, to := range order {
-		if msgs, ok := staged[to]; ok && !flushed[to] {
-			flushed[to] = true
-			e.sendStaged(to, msgs)
-		}
+	dests := make([]ids.NodeID, 0, len(staged))
+	for to := range staged {
+		dests = append(dests, to)
 	}
-	// Stragglers not named in order (deterministic enough for tests via the
-	// caller's order; remaining peers have no ordering contract).
-	for to, msgs := range staged {
-		if !flushed[to] {
-			e.sendStaged(to, msgs)
-		}
+	ids.SortNodeIDs(dests)
+	for _, to := range dests {
+		e.sendStaged(to, staged[to])
 	}
 }
 
@@ -458,7 +451,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 			for _, sub := range b.Msgs {
 				e.transmit(h(ids.NodeID(from), sub))
 			}
-			e.FlushStage(nil)
+			e.FlushStage()
 			continue
 		}
 		met.MsgsReceived.Inc()
@@ -474,7 +467,7 @@ func (e *TCPEndpoint) transmit(outs []Envelope) {
 	}
 	if len(outs) > 1 {
 		e.BeginStage()
-		defer e.FlushStage(nil)
+		defer e.FlushStage()
 	}
 	for _, o := range outs {
 		// Best-effort, like every send: the protocol tolerates loss.

@@ -249,7 +249,7 @@ func TestTCPStagedBatchDelivery(t *testing.T) {
 	if early != 0 {
 		t.Fatalf("%d messages delivered before FlushStage", early)
 	}
-	a.FlushStage([]ids.NodeID{"B"})
+	a.FlushStage()
 	msgs := cb.waitFor(t, n, 5*time.Second)
 	for i, m := range msgs {
 		if m.(*wire.HughesThreshold).Threshold != uint64(i) {
@@ -265,7 +265,7 @@ func TestTCPStagedNesting(t *testing.T) {
 	if err := a.Send("B", &wire.HughesThreshold{Threshold: 1}); err != nil {
 		t.Fatal(err)
 	}
-	a.FlushStage(nil) // inner: must NOT ship yet
+	a.FlushStage() // inner: must NOT ship yet
 	time.Sleep(20 * time.Millisecond)
 	cb.mu.Lock()
 	early := len(cb.msgs)
@@ -273,7 +273,7 @@ func TestTCPStagedNesting(t *testing.T) {
 	if early != 0 {
 		t.Fatal("inner FlushStage shipped messages")
 	}
-	a.FlushStage(nil) // outer: ships
+	a.FlushStage() // outer: ships
 	cb.waitFor(t, 1, 2*time.Second)
 
 	defer func() {
@@ -281,7 +281,7 @@ func TestTCPStagedNesting(t *testing.T) {
 			t.Fatal("unbalanced FlushStage did not panic")
 		}
 	}()
-	a.FlushStage(nil)
+	a.FlushStage()
 }
 
 func TestTCPStagedMixedPeers(t *testing.T) {
@@ -306,7 +306,7 @@ func TestTCPStagedMixedPeers(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	a.FlushStage([]ids.NodeID{"C"}) // B is a straggler, still flushed
+	a.FlushStage() // ships to both peers, sorted destination order
 	got := cb.waitFor(t, 5, 5*time.Second)
 	for i, m := range got {
 		if m.(*wire.HughesThreshold).Threshold != uint64(i) {

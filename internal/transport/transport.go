@@ -45,14 +45,15 @@ type Handler func(from ids.NodeID, msg wire.Message) []Envelope
 
 // Stager is implemented by transports that can coalesce a burst of sends:
 // between BeginStage and the matching FlushStage, messages are collected and
-// shipped together (the inproc Network replays them deterministically; the
-// TCP endpoint packs them into batch frames). order gives the destinations
-// to flush first, for deterministic replay. Layers that produce send bursts
-// (a node's GC tick, a cluster phase) type-assert their transport against
-// Stager and bracket the burst when it is available.
+// shipped together (the TCP endpoint packs them into batch frames, one per
+// peer). Layers that produce send bursts (a node's GC tick, a batched
+// delivery) type-assert their transport against Stager and bracket the burst
+// when it is available. The in-process fabric does not implement Stager: its
+// deterministic parallel mode is the Network's BeginPhase/EndPhase per-edge
+// sequencing, driven by the cluster, not by individual nodes.
 type Stager interface {
 	BeginStage()
-	FlushStage(order []ids.NodeID)
+	FlushStage()
 }
 
 // Endpoint is one node's attachment to a transport.

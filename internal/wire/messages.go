@@ -521,3 +521,25 @@ func decodeBacktraceReply(r *reader) *BacktraceReply {
 		RootFound: r.bool(),
 	}
 }
+
+// Credit is a flow-control grant from a message consumer back to a producer:
+// the cumulative count of messages the sender of the Credit has consumed on
+// that edge since the consumer started. The count is cumulative and the
+// receiver keeps only the maximum seen, so lost, duplicated or reordered
+// grants are all harmless — every grant simply re-announces the latest
+// consumed position. Credit messages are exempt from flow control themselves.
+// See node.RuntimeConfig.Backpressure.
+type Credit struct {
+	Consumed uint64
+}
+
+// Kind implements Message.
+func (*Credit) Kind() Kind { return KindCredit }
+
+func (m *Credit) encode(buf []byte) []byte {
+	return putUint(buf, m.Consumed)
+}
+
+func decodeCredit(r *reader) *Credit {
+	return &Credit{Consumed: r.uint()}
+}

@@ -30,6 +30,7 @@ const (
 	KindBacktraceRequest
 	KindBacktraceReply
 	KindBatch
+	KindCredit
 )
 
 // String returns the protocol name of the kind.
@@ -59,6 +60,8 @@ func (k Kind) String() string {
 		return "BacktraceReply"
 	case KindBatch:
 		return "Batch"
+	case KindCredit:
+		return "Credit"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -162,6 +165,8 @@ func Decode(data []byte) (Message, error) {
 		m = decodeBacktraceReply(r)
 	case KindBatch:
 		m = decodeBatch(r)
+	case KindCredit:
+		m = decodeCredit(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
 	}

@@ -281,7 +281,7 @@ func randRefID(rng *rand.Rand) ids.RefID {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := KindInvokeRequest; k <= KindBatch; k++ {
+	for k := KindInvokeRequest; k <= KindCredit; k++ {
 		if s := k.String(); s == "" || s[0] == 'K' {
 			t.Errorf("Kind(%d).String() = %q", k, s)
 		}
