@@ -319,6 +319,8 @@ func runSummarize(quick bool) error {
 	return writeJSON("BENCH_summarize.json", map[string]any{
 		"benchmark":            "graph summarization, BuildSummarizeHeap matrix (best of reps)",
 		"cpu":                  "Intel Xeon @ 2.10GHz",
+		"num_cpu":              runtime.NumCPU(),
+		"gomaxprocs":           runtime.GOMAXPROCS(0),
 		"before_per_scion_bfs": baseline,
 		"after_single_pass":    rows,
 		"speedup_10000x512":    speedup10kx512,
@@ -352,10 +354,11 @@ func runGCRound(quick bool) error {
 		return err
 	}
 	return writeJSON("BENCH_gcround.json", map[string]any{
-		"benchmark": "one settled cluster GC round, live ring + 2000-object chains + churn (best of rounds), procs x workers matrix",
-		"cpu":       "Intel Xeon @ 2.10GHz",
-		"num_cpu":   runtime.NumCPU(),
-		"rows":      rows,
+		"benchmark":  "one settled cluster GC round, live ring + 2000-object chains + churn (best of rounds), procs x workers matrix",
+		"cpu":        "Intel Xeon @ 2.10GHz",
+		"num_cpu":    runtime.NumCPU(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"rows":       rows,
 	})
 }
 
@@ -366,7 +369,7 @@ func runGCRound(quick bool) error {
 // are just not evidence about scaling.
 func warnNumCPU(exp string) {
 	if n := runtime.NumCPU(); n < 4 {
-		fmt.Printf("WARNING: %s: runtime.NumCPU()=%d (<4); worker-pool cells measure scheduling overhead, not parallel speedup. Re-record on a >=8-core machine for the scaling claim.\n", exp, n)
+		fmt.Printf("WARNING: %s: runtime.NumCPU()=%d (<4), GOMAXPROCS=%d; worker-pool cells measure scheduling overhead, not parallel speedup. Re-record on a >=8-core machine for the scaling claim.\n", exp, n, runtime.GOMAXPROCS(0))
 	}
 }
 
@@ -375,10 +378,13 @@ func warnNumCPU(exp string) {
 func runDetect(quick bool) error {
 	procs := []int{8, 32}
 	reps, hopIters := 60, 20000
+	cands := []int{16, 64, 256}
 	if quick {
 		procs = []int{8}
 		reps, hopIters = 3, 1000
+		cands = []int{16, 64}
 	}
+	warnNumCPU("detect")
 	rows, err := experiments.DetectRoundScale(procs, reps)
 	if err != nil {
 		return err
@@ -431,16 +437,31 @@ func runDetect(quick bool) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	sweep, err := experiments.DetectBatchSweep(cands, 6, 200)
+	if err != nil {
+		return err
+	}
+	w = tw()
+	fmt.Fprintln(w, "workload\tcandidates\tmode\tCDM msgs\tbatch CDMs\tsections\tderived\trounds\tcollected")
+	for _, r := range sweep {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			r.Workload, r.Candidates, r.Mode, r.CDMMsgs, r.BatchCDMs, r.Sections, r.Derived, r.Rounds, r.Collected)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
 	return writeJSON("BENCH_detect.json", map[string]any{
-		"benchmark":            "DCDA detection rounds on a garbage ring (best of reps) + single CDM hop derivation",
+		"benchmark":            "DCDA detection rounds on a garbage ring (best of reps) + single CDM hop derivation + batched-detection candidate sweep",
 		"cpu":                  "Intel Xeon @ 2.10GHz",
 		"num_cpu":              runtime.NumCPU(),
+		"gomaxprocs":           runtime.GOMAXPROCS(0),
 		"before_map_algebra":   baseline,
 		"after_interned":       rows,
 		"before_hop":           hopBase,
 		"after_hop":            hops,
 		"speedup_32procs":      speedup32,
 		"hop_alloc_reductions": hopAllocReductions(hopBase, hops),
+		"candidates":           sweep,
 	})
 }
 
@@ -487,6 +508,8 @@ func runWire(quick bool) error {
 	return writeJSON("BENCH_wire.json", map[string]any{
 		"benchmark":       "CDM wire codec, pooled encode buffers + interned decode NodeIDs",
 		"cpu":             "Intel Xeon @ 2.10GHz",
+		"num_cpu":         runtime.NumCPU(),
+		"gomaxprocs":      runtime.GOMAXPROCS(0),
 		"before":          baseline,
 		"after":           rows,
 		"iters_per_point": iters,

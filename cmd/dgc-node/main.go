@@ -54,6 +54,8 @@ func main() {
 		seedObjects   = flag.Int("seed-objects", 0, "allocate N rooted demo objects at startup")
 		statsEvery    = flag.Int("stats-every", 10, "print stats every N ticks (0 = never)")
 		broadcastDel  = flag.Bool("broadcast-delete", false, "broadcast scion deletion on cycle found")
+		batchDetect   = flag.Bool("batch-detect", false, "batch multi-candidate detection traffic into BatchCDMs")
+		aggDetect     = flag.Bool("aggregate-detect", false, "hierarchical aggregation: partial matches return to the detection origin (implies -batch-detect)")
 		callTimeoutTk = flag.Uint64("call-timeout", 40, "RPC timeout in ticks")
 		stateFile     = flag.String("state-file", "", "persist collector state here: loaded at startup if present, saved on shutdown")
 		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/dgc on this address")
@@ -92,6 +94,8 @@ func main() {
 		Metrics:          metrics,
 	}
 	cfg.Detector.BroadcastDelete = *broadcastDel
+	cfg.BatchDetection = *batchDetect || *aggDetect
+	cfg.AggregateDetection = *aggDetect
 	switch *codecName {
 	case "":
 	case "binary":

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"dgc/internal/ids"
+	"dgc/internal/node"
+	"dgc/internal/transport"
+	"dgc/internal/wire"
+	"dgc/internal/workload"
+)
+
+// modeConfig returns the node configuration for one detection mode.
+func modeConfig(mode string) node.Config {
+	var cfg node.Config
+	switch mode {
+	case "batched":
+		cfg.BatchDetection = true
+	case "aggregate":
+		cfg.BatchDetection = true
+		cfg.AggregateDetection = true
+	}
+	return cfg
+}
+
+// modeOutcome is the observable result of collecting one topology under one
+// detection mode: what survived (per node, in canonical order) and the
+// cluster-wide traffic counters.
+type modeOutcome struct {
+	rounds   int
+	perNode  []nodeSurvivors
+	msgs     uint64 // transport-level CDM+BatchCDM messages
+	batch    uint64 // BatchCDM messages
+	sections uint64 // sections carried by those BatchCDMs
+	cycles   uint64 // detections that proved a cycle, cluster-wide
+	aborted  uint64
+}
+
+// nodeSurvivors is one node's post-collection state.
+type nodeSurvivors struct {
+	ID                     string
+	Objects, Scions, Stubs int
+}
+
+func runMode(t *testing.T, seed int64, topo *workload.Topology, mode string, maxRounds int) (modeOutcome, map[ids.GlobalRef]struct{}) {
+	t.Helper()
+	cfg := modeConfig(mode)
+	c := New(seed, cfg)
+	if _, err := c.Materialize(topo, cfg); err != nil {
+		t.Fatal(err)
+	}
+	live := c.GlobalLive()
+	out := modeOutcome{rounds: c.CollectFully(maxRounds)}
+	if v := c.LiveViolations(live); len(v) != 0 {
+		t.Fatalf("%s/%s: SAFETY violation: reclaimed live %v", topo.Name, mode, v)
+	}
+	for _, n := range c.Nodes() {
+		out.perNode = append(out.perNode, nodeSurvivors{
+			ID: string(n.ID()), Objects: n.NumObjects(), Scions: n.NumScions(), Stubs: n.NumStubs(),
+		})
+	}
+	for _, s := range c.Stats() {
+		out.msgs += s.CDMMsgsSent
+		out.batch += s.BatchCDMsSent
+		out.sections += s.BatchSectionsSent
+		out.cycles += s.Detector.CyclesFound
+		out.aborted += s.Detector.Aborted
+	}
+	return out, live
+}
+
+// TestBatchedDetectionEquivalence is the batching property test: on seeded
+// ring, shared-trunk, web and random graphs, batched and unbatched detection
+// (and batched+aggregated) must reclaim EXACTLY the same objects — same
+// per-node survivor counts, full collection of garbage, no safety
+// violations — differing only in how the detection traffic is packaged.
+func TestBatchedDetectionEquivalence(t *testing.T) {
+	topos := []*workload.Topology{
+		workload.Ring(5, 2),
+		workload.SharedTrunk(8, 4),
+		workload.WebGraph(11, 4, 3, 4),
+		workload.WebGraph(13, 5, 4, 6),
+		workload.WebGraph(17, 5, 4, 6),
+	}
+	for _, seed := range []int64{101, 102, 104, 105, 106, 108} {
+		topos = append(topos, workload.RandomGraph(seed, workload.RandomConfig{
+			Procs: 4, ObjsPerProc: 8, OutDegree: 2.0, RemoteFrac: 0.5, RootFrac: 0.1,
+		}))
+	}
+	for _, topo := range topos {
+		topo := topo
+		t.Run(topo.Name, func(t *testing.T) {
+			t.Parallel()
+			base, live := runMode(t, 42, topo, "unbatched", 120)
+			if got := sumObjects(base.perNode); got != len(live) {
+				t.Fatalf("unbatched: %d objects remain, want %d live", got, len(live))
+			}
+			for _, mode := range []string{"batched", "aggregate"} {
+				out, _ := runMode(t, 42, topo, mode, 120)
+				if fmt.Sprint(out.perNode) != fmt.Sprint(base.perNode) {
+					t.Errorf("%s: survivors %v, unbatched %v", mode, out.perNode, base.perNode)
+				}
+			}
+		})
+	}
+}
+
+// TestAggregationCollectsDenseWeb: on a dense overlapping-cycle web where
+// per-node expansion stalls (the unbatched baseline and plain batched mode
+// both leave objects behind on this graph), hierarchical aggregation must
+// still fully collect — the origin merges the partial fragments every
+// branch returns and re-launches only the unresolved residue — and must
+// never reclaim a live object doing so (checked inside runMode).
+func TestAggregationCollectsDenseWeb(t *testing.T) {
+	topo := workload.WebGraph(11, 5, 6, 8)
+	out, live := runMode(t, 42, topo, "aggregate", 120)
+	if got := sumObjects(out.perNode); got != len(live) {
+		t.Errorf("aggregate: %d objects remain, want %d live", got, len(live))
+	}
+	if out.msgs == 0 {
+		t.Error("no detection traffic recorded")
+	}
+}
+
+func sumObjects(perNode []nodeSurvivors) int {
+	n := 0
+	for _, s := range perNode {
+		n += s.Objects
+	}
+	return n
+}
+
+// TestSharedTrunkBatchingReducesMessages is the traffic claim behind the
+// tentpole: K cycles exiting the first process via the same reference must
+// cost fewer transport messages batched than unbatched, and the batched run
+// must actually ship multi-section BatchCDMs.
+func TestSharedTrunkBatchingReducesMessages(t *testing.T) {
+	topo := workload.SharedTrunk(16, 4)
+	base, _ := runMode(t, 7, topo, "unbatched", 40)
+	if base.cycles == 0 {
+		t.Fatal("unbatched run found no cycles")
+	}
+	for _, mode := range []string{"batched", "aggregate"} {
+		out, _ := runMode(t, 7, topo, mode, 40)
+		if out.batch == 0 {
+			t.Fatalf("%s: no BatchCDMs sent on a shared-trunk workload", mode)
+		}
+		if out.sections <= out.batch {
+			t.Fatalf("%s: batches carry no extra sections (%d sections / %d batches)",
+				mode, out.sections, out.batch)
+		}
+		if out.msgs >= base.msgs {
+			t.Fatalf("%s: %d CDM messages, unbatched needed only %d", mode, out.msgs, base.msgs)
+		}
+		t.Logf("%s: msgs %d vs unbatched %d (batches=%d sections=%d)",
+			mode, out.msgs, base.msgs, out.batch, out.sections)
+	}
+}
+
+// TestBatchedDetectionLossTolerance: BatchCDM loss must degrade batched
+// detection into retries, never into unsafety or permanent leaks.
+func TestBatchedDetectionLossTolerance(t *testing.T) {
+	cfg := modeConfig("batched")
+	c := New(54321, cfg)
+	if _, err := c.Materialize(workload.SharedTrunk(6, 3), cfg); err != nil {
+		t.Fatal(err)
+	}
+	c.Net.SetFaults(transport.Faults{LossRate: 0.3, Affects: []wire.Kind{
+		wire.KindNewSetStubs, wire.KindCDM, wire.KindBatchCDM, wire.KindDeleteScion,
+	}})
+	for round := 0; round < 80; round++ {
+		c.GCRound()
+		if c.TotalObjects() == 0 {
+			return
+		}
+	}
+	t.Fatalf("shared trunk not reclaimed under 30%% loss: %d objects left", c.TotalObjects())
+}

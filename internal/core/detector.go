@@ -61,6 +61,16 @@ type Config struct {
 	// the next hop discover it. "However, that is not required to
 	// maintain safety" — off by default, benchmarked as an ablation.
 	EagerAbort bool
+	// EagerComplete is EagerAbort's dual: before forwarding, the process
+	// also checks whether the derivation it is about to send already
+	// reduces to {{} -> {}} and declares the cycle locally instead of
+	// paying one more fan-out hop for the next node to reach the same
+	// verdict on the same algebra. The matching rule is location-
+	// independent — every source scion matched by a consistently-countered
+	// stub — so the declaration is exactly the one the receiver would have
+	// made. Enabled by the node's batched detection mode, where it
+	// collapses the terminal fan-out of wide cycles.
+	EagerComplete bool
 }
 
 // DefaultMaxHops is the CDM hop budget used when Config.MaxHops is zero. A
@@ -233,6 +243,52 @@ func (d *Detector) HandleCDM(sum *snapshot.Summary, det DetectionID, along ids.R
 	return d.expand(sum, det, sc, alg, hops, trace)
 }
 
+// HandleReturn processes a partial-match result returned to this node — the
+// detection's origin — under the hierarchical aggregation mode. alg is the
+// origin's accumulated union of every returned fragment (the caller merged
+// the arriving section in already). Evaluating it here is the same operation
+// an intermediate node performs on its own accumulator: a counter mismatch
+// aborts, a source-empty reduction proves the cycle (the matching rule is a
+// property of the algebra, not of where it is evaluated). Otherwise only the
+// unresolved residue is re-launched: the union is re-expanded through each
+// of this node's own scions named in its source set, and expand's no-new-
+// information check guarantees the relaunch forwards nothing downstream
+// already has.
+func (d *Detector) HandleReturn(sum *snapshot.Summary, det DetectionID, alg Alg, hops int, trace uint64) Outcome {
+	cycleFound, abort := alg.MatchStatus()
+	if abort {
+		d.Stats.Aborted++
+		return Outcome{Kind: OutcomeAborted}
+	}
+	if cycleFound {
+		return d.cycleFound(det, alg)
+	}
+	agg := Outcome{Kind: OutcomeBranchEnded}
+	cur := alg
+	for _, ref := range alg.SourceRefs() {
+		if ref.Dst.Node != d.self {
+			continue
+		}
+		sc := sum.Scion(ref)
+		if sc == nil || sc.LocalReach {
+			continue
+		}
+		out := d.expand(sum, det, sc, cur, hops, trace)
+		switch out.Kind {
+		case OutcomeCycleFound, OutcomeAborted:
+			return out
+		case OutcomeForwarded:
+			agg.Kind = OutcomeForwarded
+			agg.Forwarded += out.Forwarded
+			agg.Derived = out.Derived
+			// Later expansions work off the grown view so they recognize
+			// (and skip re-shipping) what this relaunch already sent.
+			cur = *out.Derived
+		}
+	}
+	return agg
+}
+
 // cycleFound deletes this node's scions named in the CDM source set and,
 // optionally, notifies the owners of the remaining ones.
 func (d *Detector) cycleFound(det DetectionID, alg Alg) Outcome {
@@ -332,6 +388,14 @@ func (d *Detector) expand(sum *snapshot.Summary, det DetectionID, sc *snapshot.S
 		// §3.1 step 15: the derivation holds no new information — the
 		// branch would loop forever denouncing the same dependency.
 		return Outcome{Kind: OutcomeBranchEnded}
+	}
+	if d.cfg.EagerComplete {
+		// The derivation already closes: declare here instead of forwarding
+		// it along every eligible stub for the receivers to conclude the
+		// same thing from the same algebra.
+		if found, _ := derived.MatchStatus(); found {
+			return d.cycleFound(det, derived)
+		}
 	}
 	if d.cfg.MaxAlgebraSize > 0 && derived.Len() > d.cfg.MaxAlgebraSize {
 		return Outcome{Kind: OutcomeBranchEnded}

@@ -29,6 +29,11 @@ type DebugSnapshot struct {
 	// tracing, in (origin, seq) order.
 	InflightDetections []InflightDetection `json:"inflight_detections"`
 
+	// Accumulators lists the per-detection CDM accumulators with their ages,
+	// in (origin, seq) order: the "which detection is stuck" view behind the
+	// dgc_detection_inflight_age_seconds gauge.
+	Accumulators []AccumulatorInfo `json:"accumulators"`
+
 	// TraceEventsDropped is the trace ring's eviction count (0 when no
 	// trace.Log is configured).
 	TraceEventsDropped uint64 `json:"trace_events_dropped,omitempty"`
@@ -44,6 +49,15 @@ type InflightDetection struct {
 	TraceID   string `json:"trace_id"` // %016x of the causal trace id
 	FirstSeen string `json:"first_seen"`
 	AgeMS     int64  `json:"age_ms"`
+}
+
+// AccumulatorInfo is one per-detection CDM accumulator in a DebugSnapshot.
+type AccumulatorInfo struct {
+	Origin  string `json:"origin"`
+	Seq     uint64 `json:"seq"`
+	Entries int    `json:"entries"` // references in the accumulated algebra
+	Alongs  int    `json:"alongs"`  // distinct scions the detection arrived along
+	AgeMS   int64  `json:"age_ms"`  // since the accumulator was created
 }
 
 // MailboxStats reports a LiveRuntime's bounded event queue.
@@ -87,6 +101,23 @@ func (m *Machine) DebugSnapshot() DebugSnapshot {
 	}
 	sort.Slice(snap.InflightDetections, func(i, j int) bool {
 		a, b := snap.InflightDetections[i], snap.InflightDetections[j]
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.Seq < b.Seq
+	})
+	snap.Accumulators = make([]AccumulatorInfo, 0, len(m.cdmAcc))
+	for det, acc := range m.cdmAcc {
+		snap.Accumulators = append(snap.Accumulators, AccumulatorInfo{
+			Origin:  string(det.Origin),
+			Seq:     det.Seq,
+			Entries: acc.alg.Len(),
+			Alongs:  len(acc.alongs),
+			AgeMS:   now.Sub(acc.first).Milliseconds(),
+		})
+	}
+	sort.Slice(snap.Accumulators, func(i, j int) bool {
+		a, b := snap.Accumulators[i], snap.Accumulators[j]
 		if a.Origin != b.Origin {
 			return a.Origin < b.Origin
 		}

@@ -178,16 +178,24 @@ func (m *Machine) RunDetection() int {
 		cands = rotated
 	}
 	started := 0
+	m.beginCDMBatch()
 	for _, c := range cands {
 		det, out := m.detector.StartDetection(m.summary, c)
-		if out.Kind == core.OutcomeForwarded {
+		switch out.Kind {
+		case core.OutcomeForwarded:
 			started++
 			m.met.DetectionsStarted.Inc()
 			m.met.CDMsSent.Add(uint64(out.Forwarded))
 			m.trackDetection(det, core.TraceIDFor(det))
 			m.emit(trace.KindDetectionStart, "det=%s/%d candidate=%s", det.Origin, det.Seq, c)
+		case core.OutcomeCycleFound:
+			// EagerComplete only: the first derivation already closed.
+			m.met.CyclesFound.Inc()
+			m.emit(trace.KindCycleFound, "det=%s/%d scions=%d",
+				det.Origin, det.Seq, len(out.GarbageScions))
 		}
 	}
+	m.flushCDMBatch()
 	m.syncGauges()
 	return started
 }
@@ -206,6 +214,13 @@ type detectorActions Machine
 // The detection's trace id rides every message of the fan-out.
 func (a *detectorActions) SendCDMs(det core.DetectionID, traceID uint64, alongs []ids.RefID, alg core.Alg, hops int) {
 	m := (*Machine)(a)
+	if m.batch != nil {
+		// Batched mode: park the fan-out per edge; flushCDMBatch groups
+		// every detection exiting via the same reference into one message.
+		m.batch.add(det, traceID, alongs, alg, hops)
+		return
+	}
+	m.stats.CDMMsgsSent += uint64(len(alongs))
 	for _, along := range alongs {
 		m.send(along.Dst.Node, wire.NewCDMFromAlg(det, along, alg, hops, traceID))
 	}

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"time"
+
 	"dgc/internal/core"
 	"dgc/internal/ids"
 	"dgc/internal/trace"
@@ -25,6 +27,8 @@ func (m *Machine) HandleMessage(from ids.NodeID, msg wire.Message) {
 		m.handleNewSetStubs(msg)
 	case *wire.CDM:
 		m.handleCDM(msg)
+	case *wire.BatchCDM:
+		m.handleBatchCDM(msg)
 	case *wire.DeleteScion:
 		m.detector.HandleDeleteScion(msg.Ref)
 	default:
@@ -48,36 +52,85 @@ func (m *Machine) HandleMessage(from ids.NodeID, msg wire.Message) {
 // paper's "no correctness-critical per-detection state at intermediate
 // processes" property.
 func (m *Machine) handleCDM(msg *wire.CDM) {
-	m.met.CDMsHandled.Inc()
-	m.met.CDMHops.Observe(float64(msg.Hops))
-	if _, aborted := m.cdmAborted[msg.Det]; aborted {
-		m.stats.CDMsRaceDropped++
-		m.met.CDMsRaceDropped.Inc()
-		return
+	m.beginCDMBatch()
+	m.processCDMSection(msg.Det, msg.Trace, msg.Along, int(msg.Hops), msg.MergeAlgInto)
+	m.flushCDMBatch()
+}
+
+// handleBatchCDM processes a multi-candidate detection message: every
+// section is matched against the local summary exactly as a standalone CDM
+// would be — per-detection accumulators, dedup, race-drop and trace ids all
+// apply section by section — and the surviving forwards are re-grouped per
+// outgoing edge into sub-batches by the bracketing cdmBatcher. Return
+// messages instead merge each section into the origin's accumulated view
+// and re-launch only the unresolved residue.
+func (m *Machine) handleBatchCDM(msg *wire.BatchCDM) {
+	if len(msg.Sections) == 0 {
+		return // decoder rejects these; in-process senders never build them
 	}
-	m.trackDetection(msg.Det, msg.Trace)
-	acc, ok := m.cdmAcc[msg.Det]
+	m.beginCDMBatch()
+	for i := range msg.Sections {
+		s := &msg.Sections[i]
+		if msg.Return {
+			m.handleReturnSection(s, int(msg.Hops))
+		} else {
+			m.processCDMSection(s.Det, s.Trace, msg.Along, int(msg.Hops), s.MergeAlgInto)
+		}
+	}
+	m.flushCDMBatch()
+}
+
+// accumulatorFor returns (creating if needed) the detection's accumulated
+// state, flushing the cache when the cap is hit.
+func (m *Machine) accumulatorFor(det core.DetectionID) *detAcc {
+	acc, ok := m.cdmAcc[det]
 	if !ok {
 		if len(m.cdmAcc) >= cdmAccCap {
 			m.cdmAcc = make(map[core.DetectionID]*detAcc)
 			m.cdmAborted = make(map[core.DetectionID]struct{})
 		}
-		acc = &detAcc{alg: core.NewAlg(), alongs: make(map[ids.RefID]struct{})}
-		m.cdmAcc[msg.Det] = acc
+		acc = &detAcc{alg: core.NewAlg(), alongs: make(map[ids.RefID]struct{}), first: time.Now()}
+		m.cdmAcc[det] = acc
 	}
-	changed, conflict := msg.MergeAlgInto(acc.alg)
-	if conflict {
+	return acc
+}
+
+// raceDropDetection records a counter conflict against the accumulated
+// view: the accumulator is discarded, further deliveries of the detection
+// are dropped, and the latency measurement closes.
+func (m *Machine) raceDropDetection(det core.DetectionID) {
+	m.stats.CDMsRaceDropped++
+	m.met.CDMsRaceDropped.Inc()
+	delete(m.cdmAcc, det)
+	m.cdmAborted[det] = struct{}{}
+	m.detectionDone(det)
+}
+
+// processCDMSection is the per-detection core of handleCDM/handleBatchCDM:
+// one delivered algebra (a standalone CDM or one batch section), arriving
+// along one scion, merged and processed against the accumulated view.
+func (m *Machine) processCDMSection(det core.DetectionID, traceID uint64, along ids.RefID, hops int, merge func(core.Alg) (bool, bool)) {
+	m.met.CDMsHandled.Inc()
+	m.met.CDMHops.Observe(float64(hops))
+	if _, aborted := m.cdmAborted[det]; aborted {
 		m.stats.CDMsRaceDropped++
 		m.met.CDMsRaceDropped.Inc()
-		delete(m.cdmAcc, msg.Det)
-		m.cdmAborted[msg.Det] = struct{}{}
-		m.detectionDone(msg.Det)
 		return
 	}
-	_, knownAlong := acc.alongs[msg.Along]
+	m.trackDetection(det, traceID)
+	acc := m.accumulatorFor(det)
+	changed, conflict := merge(acc.alg)
+	if conflict {
+		m.raceDropDetection(det)
+		return
+	}
+	if changed {
+		acc.ver++
+	}
+	_, knownAlong := acc.alongs[along]
 	if !knownAlong {
-		acc.alongs[msg.Along] = struct{}{}
-		acc.alongsSorted = append(acc.alongsSorted, msg.Along)
+		acc.alongs[along] = struct{}{}
+		acc.alongsSorted = append(acc.alongsSorted, along)
 		ids.SortRefIDs(acc.alongsSorted)
 	}
 	if !changed && knownAlong {
@@ -90,8 +143,9 @@ func (m *Machine) handleCDM(msg *wire.CDM) {
 	// along: information that arrived via one scion must also flow out
 	// through the stubs reachable from the others, or converging paths
 	// would starve each other of the closure they jointly build.
-	for _, along := range acc.alongsSorted {
-		out := m.detector.HandleCDM(m.summary, msg.Det, along, acc.alg, int(msg.Hops), msg.Trace)
+	terminal, forwarded := false, false
+	for _, a := range acc.alongsSorted {
+		out := m.detector.HandleCDM(m.summary, det, a, acc.alg, hops, traceID)
 		switch out.Kind {
 		case core.OutcomeDropped:
 			m.met.CDMsDropped.Inc()
@@ -100,35 +154,113 @@ func (m *Machine) handleCDM(msg *wire.CDM) {
 		case core.OutcomeCycleFound:
 			m.met.CyclesFound.Inc()
 		case core.OutcomeForwarded:
+			forwarded = true
 			m.met.CDMsSent.Add(uint64(out.Forwarded))
 		}
 		if m.cfg.Trace != nil {
 			m.emit(trace.KindCDMHandled, "det=%s/%d along=%s outcome=%s entries=%d",
-				msg.Det.Origin, msg.Det.Seq, along, out.Kind, acc.alg.Len())
+				det.Origin, det.Seq, a, out.Kind, acc.alg.Len())
 			if out.Kind == core.OutcomeCycleFound {
 				m.emit(trace.KindCycleFound, "det=%s/%d scions=%d",
-					msg.Det.Origin, msg.Det.Seq, len(out.GarbageScions))
+					det.Origin, det.Seq, len(out.GarbageScions))
 			}
 		}
 		if out.Kind == core.OutcomeForwarded && out.Derived != nil {
 			// Fold the shipped derivation back into the union: later
 			// expansions then recognize it and stop re-forwarding
 			// information every downstream node already has.
-			if _, conflict := acc.alg.Merge(*out.Derived); conflict {
-				m.stats.CDMsRaceDropped++
-				m.met.CDMsRaceDropped.Inc()
-				delete(m.cdmAcc, msg.Det)
-				m.cdmAborted[msg.Det] = struct{}{}
-				m.detectionDone(msg.Det)
+			ch, conflict := acc.alg.Merge(*out.Derived)
+			if conflict {
+				m.raceDropDetection(det)
 				return
+			}
+			if ch {
+				acc.ver++
 			}
 		}
 		if out.Kind == core.OutcomeCycleFound || out.Kind == core.OutcomeAborted {
 			// Terminal outcome observed at this node: close the latency
 			// measurement for the detection's causal trace.
-			m.detectionDone(msg.Det)
+			m.detectionDone(det)
+			terminal = true
 			break
 		}
+	}
+
+	// Hierarchical aggregation: a branch that died here without a verdict
+	// is a partial match. Return the accumulated view to the origin (once
+	// per accumulator version) so the coordinator can merge fragments from
+	// every branch and re-launch only what remains unresolved.
+	if m.cfg.AggregateDetection && !terminal && !forwarded &&
+		det.Origin != m.id && acc.ver > acc.retVer && acc.alg.Len() > 0 {
+		acc.retVer = acc.ver
+		m.batch.addReturn(det, traceID, acc.alg.Clone(), hops+1)
+	}
+}
+
+// handleReturnSection merges one aggregation-mode partial result into the
+// origin's accumulated view and evaluates it: a conflict aborts the
+// detection, a source-empty reduction proves the cycle, anything else
+// re-launches the unresolved residue through the origin's own scions.
+func (m *Machine) handleReturnSection(s *wire.BatchSection, hops int) {
+	det := s.Det
+	if det.Origin != m.id {
+		return // misrouted; returns only mean something at the coordinator
+	}
+	m.stats.PartialReturns++
+	m.met.PartialReturns.Inc()
+	if _, aborted := m.cdmAborted[det]; aborted {
+		m.stats.CDMsRaceDropped++
+		m.met.CDMsRaceDropped.Inc()
+		return
+	}
+	if m.summary == nil {
+		return
+	}
+	m.trackDetection(det, s.Trace)
+	acc := m.accumulatorFor(det)
+	changed, conflict := s.MergeAlgInto(acc.alg)
+	if conflict {
+		m.raceDropDetection(det)
+		return
+	}
+	if !changed {
+		m.stats.CDMsDeduped++
+		m.met.CDMsDeduped.Inc()
+		return
+	}
+	acc.ver++
+	out := m.detector.HandleReturn(m.summary, det, acc.alg, hops, s.Trace)
+	switch out.Kind {
+	case core.OutcomeAborted:
+		m.met.DetectionsAborted.Inc()
+	case core.OutcomeCycleFound:
+		m.met.CyclesFound.Inc()
+	case core.OutcomeForwarded:
+		m.stats.DetectionRelaunches++
+		m.met.DetectionRelaunches.Inc()
+		m.met.CDMsSent.Add(uint64(out.Forwarded))
+	}
+	if m.cfg.Trace != nil {
+		m.emit(trace.KindCDMHandled, "det=%s/%d along=return outcome=%s entries=%d",
+			det.Origin, det.Seq, out.Kind, acc.alg.Len())
+		if out.Kind == core.OutcomeCycleFound {
+			m.emit(trace.KindCycleFound, "det=%s/%d scions=%d",
+				det.Origin, det.Seq, len(out.GarbageScions))
+		}
+	}
+	if out.Kind == core.OutcomeForwarded && out.Derived != nil {
+		ch, conflict := acc.alg.Merge(*out.Derived)
+		if conflict {
+			m.raceDropDetection(det)
+			return
+		}
+		if ch {
+			acc.ver++
+		}
+	}
+	if out.Kind == core.OutcomeCycleFound || out.Kind == core.OutcomeAborted {
+		m.detectionDone(det)
 	}
 }
 

@@ -74,6 +74,13 @@ type Machine struct {
 	cdmAcc     map[core.DetectionID]*detAcc
 	cdmAborted map[core.DetectionID]struct{}
 
+	// batch, when non-nil, buffers the current input's CDM traffic per
+	// outgoing edge (BatchDetection/AggregateDetection modes); the
+	// detector's SendCDMs callback appends to it instead of emitting
+	// per-detection messages. Bracketed by beginCDMBatch/flushCDMBatch
+	// around every input that can produce detection traffic.
+	batch *cdmBatcher
+
 	stats Stats
 
 	// met is the node's observability instrument block (a private registry
@@ -112,6 +119,83 @@ type detAcc struct {
 	// alongsSorted caches the alongs set in canonical order; maintained
 	// incrementally so each delivery iterates without rebuilding it.
 	alongsSorted []ids.RefID
+	// first is when this accumulator was created, for the /debug/dgc
+	// per-detection age report. Wall clock: diagnostic only, never read by
+	// the protocol.
+	first time.Time
+	// ver counts changes to alg; retVer is ver at the last aggregation-mode
+	// partial return, so an unchanged accumulator never returns twice.
+	ver    uint64
+	retVer uint64
+}
+
+// cdmBatcher buffers the CDM traffic of one machine input (a detection
+// round or one delivered CDM/BatchCDM), grouped per outgoing edge with one
+// section per detection, plus aggregation-mode partial returns grouped per
+// origin. Flushing emits one message per edge (a plain CDM for single
+// sections, a BatchCDM otherwise) in canonical edge order. Only active
+// under BatchDetection/AggregateDetection; nil otherwise, so the default
+// send path is untouched.
+type cdmBatcher struct {
+	edges map[ids.RefID]*edgeBatch
+	order []ids.RefID // edge insertion order; sorted canonically at flush
+
+	rets     map[ids.NodeID][]wire.BatchSection
+	retOrder []ids.NodeID
+	retHops  int
+}
+
+// outSection is one buffered (detection, algebra) pair bound for an edge.
+type outSection struct {
+	det   core.DetectionID
+	trace uint64
+	alg   core.Alg
+	hops  int
+}
+
+type edgeBatch struct {
+	secs  []outSection
+	index map[core.DetectionID]int
+}
+
+// add buffers one detector fan-out. A later derivation of a detection
+// already buffered for an edge supersedes the earlier one: within one input
+// the accumulated algebra only grows, so the newest derivation subsumes
+// what it replaces.
+func (b *cdmBatcher) add(det core.DetectionID, trace uint64, alongs []ids.RefID, alg core.Alg, hops int) {
+	for _, along := range alongs {
+		eb := b.edges[along]
+		if eb == nil {
+			eb = &edgeBatch{index: make(map[core.DetectionID]int)}
+			b.edges[along] = eb
+			b.order = append(b.order, along)
+		}
+		if i, ok := eb.index[det]; ok {
+			eb.secs[i] = outSection{det: det, trace: trace, alg: alg, hops: hops}
+			continue
+		}
+		eb.index[det] = len(eb.secs)
+		eb.secs = append(eb.secs, outSection{det: det, trace: trace, alg: alg, hops: hops})
+	}
+}
+
+// addReturn buffers one partial-match result bound for the detection's
+// origin. alg must be safe to share (the caller clones the accumulator).
+func (b *cdmBatcher) addReturn(det core.DetectionID, trace uint64, alg core.Alg, hops int) {
+	if _, ok := b.rets[det.Origin]; !ok {
+		b.retOrder = append(b.retOrder, det.Origin)
+	}
+	b.rets[det.Origin] = append(b.rets[det.Origin], wire.NewBatchSection(det, trace, alg))
+	if hops > b.retHops {
+		b.retHops = hops
+	}
+}
+
+func newCDMBatcher() *cdmBatcher {
+	return &cdmBatcher{
+		edges: make(map[ids.RefID]*edgeBatch),
+		rets:  make(map[ids.NodeID][]wire.BatchSection),
+	}
 }
 
 // cdmAccCap bounds the per-detection accumulator cache; overflowing flushes
@@ -168,6 +252,14 @@ func NewMachine(id ids.NodeID, cfg Config) *Machine {
 	m.acyclic.EmptySetRepeats = cfg.EmptySetRepeats
 	m.lgc = lgc.New(m.heap, m.table)
 	m.selector = core.NewSelector(cfg.CandidateMinAge)
+	if cfg.BatchDetection {
+		// Batched mode implies eager completion: a sender-side verdict on the
+		// derived algebra collapses the terminal fan-out the receivers would
+		// otherwise each evaluate (the matching rule is location-independent,
+		// so the verdict is identical wherever it is computed).
+		m.cfg.Detector.EagerComplete = true
+		cfg.Detector.EagerComplete = true
+	}
 	m.detector = core.NewDetector(id, cfg.Detector, (*detectorActions)(m))
 	registerBuiltins(m)
 	return m
@@ -189,6 +281,68 @@ func (m *Machine) syncGauges() {
 	m.met.Stubs.Set(int64(m.table.NumStubs()))
 	m.met.PendingCalls.Set(int64(len(m.pendingCalls)))
 	m.met.DetectionsInflight.Set(int64(len(m.inflight)))
+	m.met.DetectionInflightAge.Set(int64(m.oldestInflightAge(time.Now()).Seconds()))
+}
+
+// oldestInflightAge returns the age of the longest-tracked inflight
+// detection (zero when none): the "stuck batch" signal behind the
+// dgc_detection_inflight_age_seconds gauge.
+func (m *Machine) oldestInflightAge(now time.Time) time.Duration {
+	var oldest time.Duration
+	for _, inf := range m.inflight {
+		if age := now.Sub(inf.first); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
+}
+
+// beginCDMBatch arms per-edge CDM buffering for the current input when a
+// batching mode is enabled; flushCDMBatch drains it. No-ops otherwise, so
+// the default path emits exactly the historical message sequence.
+func (m *Machine) beginCDMBatch() {
+	if m.cfg.BatchDetection || m.cfg.AggregateDetection {
+		m.batch = newCDMBatcher()
+	}
+}
+
+// flushCDMBatch emits the buffered traffic: per edge in canonical order,
+// one plain CDM for a single section or one BatchCDM for several; then the
+// aggregation-mode partial returns, one BatchCDM per origin.
+func (m *Machine) flushCDMBatch() {
+	b := m.batch
+	if b == nil {
+		return
+	}
+	m.batch = nil
+	ids.SortRefIDs(b.order)
+	for _, edge := range b.order {
+		eb := b.edges[edge]
+		if len(eb.secs) == 1 {
+			s := eb.secs[0]
+			m.stats.CDMMsgsSent++
+			m.send(edge.Dst.Node, wire.NewCDMFromAlg(s.det, edge, s.alg, s.hops, s.trace))
+			continue
+		}
+		secs := make([]wire.BatchSection, len(eb.secs))
+		hops := 0
+		for i, s := range eb.secs {
+			secs[i] = wire.NewBatchSection(s.det, s.trace, s.alg)
+			if s.hops > hops {
+				hops = s.hops
+			}
+		}
+		m.stats.CDMMsgsSent++
+		m.stats.BatchCDMsSent++
+		m.stats.BatchSectionsSent += uint64(len(secs))
+		m.met.BatchCDMsSent.Inc()
+		m.met.BatchSections.Observe(float64(len(secs)))
+		m.send(edge.Dst.Node, wire.NewBatchCDM(edge, hops, false, secs))
+	}
+	for _, origin := range b.retOrder {
+		m.stats.CDMMsgsSent++
+		m.send(origin, wire.NewBatchCDM(ids.RefID{}, b.retHops, true, b.rets[origin]))
+	}
 }
 
 // trackDetection records a detection for causal tracing, stamping its first

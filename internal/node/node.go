@@ -47,6 +47,22 @@ type Config struct {
 	// MaxDetectionsPerRound bounds detections started per RunDetection
 	// call; 0 means all eligible candidates.
 	MaxDetectionsPerRound int
+	// BatchDetection groups the CDM traffic of one machine input per
+	// outgoing edge: every detection whose derivation exits via the same
+	// reference travels as one section of one wire.BatchCDM instead of one
+	// CDM each, and receivers split/drop/forward sub-batches per edge the
+	// same way. It also enables the detector's eager-complete check (a
+	// closing derivation is declared locally instead of fanning out one
+	// more hop). Off by default: the unbatched path is the property-test
+	// reference and keeps simulation fingerprints byte-identical.
+	BatchDetection bool
+	// AggregateDetection enables hierarchical match aggregation on top of
+	// batching: a node whose processing of a detection ends without
+	// forwarding returns its accumulated partial match to the detection's
+	// origin, which merges the fragments and re-launches only the
+	// unresolved residue. Implies the same opt-in caveats as
+	// BatchDetection.
+	AggregateDetection bool
 	// LGCEvery / SnapshotEvery / DetectEvery run the respective daemon
 	// every N ticks (0 disables; drive manually).
 	LGCEvery      uint64
@@ -99,7 +115,22 @@ type Stats struct {
 	StubSetsApplied  uint64
 	CDMsDeduped      uint64 // CDM deliveries that added no new information
 	CDMsRaceDropped  uint64 // CDM deliveries conflicting with the merged view
-	Detector         core.Stats
+	// CDMMsgsSent counts actual detection-traffic messages handed to the
+	// transport: each CDM is one, each BatchCDM is one regardless of its
+	// section count. Equals Detector.CDMsSent when batching is off; the
+	// batched-vs-unbatched traffic comparison in BENCH_detect.json reads
+	// this field.
+	CDMMsgsSent uint64
+	// BatchCDMsSent / BatchSectionsSent count multi-section messages and
+	// the sections they carried (forward direction only, returns excluded).
+	BatchCDMsSent     uint64
+	BatchSectionsSent uint64
+	// PartialReturns counts aggregation-mode partial results merged at this
+	// node as the detection origin; DetectionRelaunches counts the residue
+	// re-expansions those merges triggered.
+	PartialReturns      uint64
+	DetectionRelaunches uint64
+	Detector            core.Stats
 }
 
 // Reply is the caller-side result of a remote invocation.

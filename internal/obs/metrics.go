@@ -23,6 +23,11 @@ var DurationBuckets = []float64{
 // budget defaults to 256).
 var HopBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// BatchSectionBuckets bounds the sections-per-BatchCDM histogram: one
+// section per candidate sharing an edge, up to the detection round's
+// candidate budget.
+var BatchSectionBuckets = []float64{2, 4, 8, 16, 32, 64, 128, 256, 512}
+
 // NodeMetrics is one node's instrument block, covering detection, the local
 // and acyclic collectors, RPC and the runtime mailbox.
 type NodeMetrics struct {
@@ -38,6 +43,13 @@ type NodeMetrics struct {
 	ScionsFreed       *Counter
 	DetectionLatency  *Histogram
 	CDMHops           *Histogram
+
+	// Batched detection and hierarchical aggregation (static zero when
+	// Config.BatchDetection / AggregateDetection are off).
+	BatchCDMsSent       *Counter
+	BatchSections       *Histogram
+	PartialReturns      *Counter
+	DetectionRelaunches *Counter
 
 	// Reference listing and local GC.
 	ScionsCreated     *Counter
@@ -58,11 +70,12 @@ type NodeMetrics struct {
 	CallsFailed    *Counter
 
 	// Instantaneous state.
-	HeapObjects        *Gauge
-	Scions             *Gauge
-	Stubs              *Gauge
-	DetectionsInflight *Gauge
-	PendingCalls       *Gauge
+	HeapObjects          *Gauge
+	Scions               *Gauge
+	Stubs                *Gauge
+	DetectionsInflight   *Gauge
+	DetectionInflightAge *Gauge
+	PendingCalls         *Gauge
 
 	// LiveRuntime mailbox (static zero under the simulator's Node driver).
 	MailboxDepth    *Gauge
@@ -91,6 +104,11 @@ func NewNodeMetrics(reg *Registry) *NodeMetrics {
 		DetectionLatency:  reg.Histogram("dgc_detection_latency_seconds", "Seconds from first sight of a detection at this node to its terminal outcome here (cycle found or abort).", DetectionLatencyBuckets),
 		CDMHops:           reg.Histogram("dgc_cdm_hops", "Forwarding depth carried by delivered CDMs.", HopBuckets),
 
+		BatchCDMsSent:       reg.Counter("dgc_batch_cdms_sent_total", "Multi-candidate BatchCDM messages sent to peers."),
+		BatchSections:       reg.Histogram("dgc_batch_cdm_sections", "Detection sections carried per BatchCDM sent.", BatchSectionBuckets),
+		PartialReturns:      reg.Counter("dgc_partial_returns_total", "Aggregation-mode partial match results returned to detection origins."),
+		DetectionRelaunches: reg.Counter("dgc_detection_relaunches_total", "Detections re-launched by their origin after merging partial returns."),
+
 		ScionsCreated:     reg.Counter("dgc_scions_created_total", "Incoming-reference scions created."),
 		ScionsDropped:     reg.Counter("dgc_scions_dropped_total", "Scions deleted by reference-listing stub-set application."),
 		LGCRuns:           reg.Counter("dgc_lgc_runs_total", "Local garbage collections run."),
@@ -107,11 +125,12 @@ func NewNodeMetrics(reg *Registry) *NodeMetrics {
 		RepliesHandled: reg.Counter("dgc_replies_handled_total", "Invocation replies received."),
 		CallsFailed:    reg.Counter("dgc_calls_failed_total", "Invocations that failed or expired."),
 
-		HeapObjects:        reg.Gauge("dgc_heap_objects", "Objects currently on the heap."),
-		Scions:             reg.Gauge("dgc_scions", "Incoming-reference scions currently recorded."),
-		Stubs:              reg.Gauge("dgc_stubs", "Outgoing-reference stubs currently recorded."),
-		DetectionsInflight: reg.Gauge("dgc_detections_inflight", "Detections currently tracked at this node (traced, not yet terminal)."),
-		PendingCalls:       reg.Gauge("dgc_pending_calls", "Remote invocations awaiting replies."),
+		HeapObjects:          reg.Gauge("dgc_heap_objects", "Objects currently on the heap."),
+		Scions:               reg.Gauge("dgc_scions", "Incoming-reference scions currently recorded."),
+		Stubs:                reg.Gauge("dgc_stubs", "Outgoing-reference stubs currently recorded."),
+		DetectionsInflight:   reg.Gauge("dgc_detections_inflight", "Detections currently tracked at this node (traced, not yet terminal)."),
+		DetectionInflightAge: reg.Gauge("dgc_detection_inflight_age_seconds", "Age in whole seconds of the oldest detection still inflight at this node (0 when none)."),
+		PendingCalls:         reg.Gauge("dgc_pending_calls", "Remote invocations awaiting replies."),
 
 		MailboxDepth:    reg.Gauge("dgc_mailbox_depth", "Runtime mailbox occupancy at last consume."),
 		MailboxCapacity: reg.Gauge("dgc_mailbox_capacity", "Runtime mailbox capacity."),

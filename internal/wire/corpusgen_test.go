@@ -1,0 +1,37 @@
+package wire
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"dgc/internal/ids"
+)
+
+// TestGenerateBatchCorpus regenerates the checked-in BatchCDM fuzz corpus
+// (valid batches plus the malformed framings the decoder must reject without
+// panicking). Skipped unless WIRE_GEN_CORPUS is set; the written files are
+// committed under testdata/fuzz/FuzzDecode.
+func TestGenerateBatchCorpus(t *testing.T) {
+	if os.Getenv("WIRE_GEN_CORPUS") == "" {
+		t.Skip("set WIRE_GEN_CORPUS=1 to regenerate")
+	}
+	rs := batchRefs()
+	entries := map[string][]byte{
+		"batchcdm-valid":         Encode(testBatch(false)),
+		"batchcdm-return":        Encode(testBatch(true)),
+		"batchcdm-truncated":     Encode(testBatch(false))[:20],
+		"batchcdm-zero-sections": newRawBatch(rs[0], 1, false, rs[:1]).sections(0).buf,
+		"batchcdm-zero-entries":  newRawBatch(rs[0], 1, false, rs[:1]).sections(1).section("P1", 1).buf,
+		"batchcdm-dup-detection": newRawBatch(rs[0], 1, false, rs[:1]).sections(2).
+			section("P1", 7, 0).section("P1", 7, 0).buf,
+		"batchcdm-unsorted-dict": newRawBatch(rs[0], 1, false, []ids.RefID{rs[1], rs[0]}).
+			sections(1).section("P1", 1, 0, 1).buf,
+	}
+	for name, data := range entries {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile("testdata/fuzz/FuzzDecode/"+name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -35,6 +35,8 @@ func FuzzDecode(f *testing.F) {
 				Entries: []CDMEntry{{Ref: r1, InSource: true, SrcIC: 2}}},
 		}},
 		&Batch{},
+		testBatch(false),
+		testBatch(true),
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))

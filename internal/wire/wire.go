@@ -31,6 +31,7 @@ const (
 	KindBacktraceReply
 	KindBatch
 	KindCredit
+	KindBatchCDM
 )
 
 // String returns the protocol name of the kind.
@@ -62,6 +63,8 @@ func (k Kind) String() string {
 		return "Batch"
 	case KindCredit:
 		return "Credit"
+	case KindBatchCDM:
+		return "BatchCDM"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -167,6 +170,8 @@ func Decode(data []byte) (Message, error) {
 		m = decodeBatch(r)
 	case KindCredit:
 		m = decodeCredit(r)
+	case KindBatchCDM:
+		m = decodeBatchCDM(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
 	}

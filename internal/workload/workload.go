@@ -213,6 +213,99 @@ func AcyclicChain(procs int) *Topology {
 	return t
 }
 
+// SharedTrunk builds `k` distributed garbage cycles that all traverse the
+// same trunk of processes: K fan-in objects a0..a(k-1) on the first process
+// each reference a shared hub, the hub starts a chain crossing every other
+// process, and a fan object on the last process closes all K cycles with
+// remote back-references to the fan-in objects. Nothing is rooted.
+//
+// This is the batched-detection stress shape: every one of the K detections
+// started at the first process exits through the SAME outgoing reference
+// (hub -> trunk), so unbatched detection ships K CDMs per trunk hop while
+// batched mode ships one BatchCDM with K sections.
+func SharedTrunk(k, procs int) *Topology {
+	if k < 1 {
+		k = 1
+	}
+	if procs < 2 {
+		procs = 2
+	}
+	t := &Topology{Name: fmt.Sprintf("shared-trunk-%dx%d", k, procs)}
+	for i := 0; i < k; i++ {
+		t.Objects = append(t.Objects, ObjSpec{Name: trunkEntry(i), Node: nodeName(0)})
+		t.Edges = append(t.Edges, EdgeSpec{From: trunkEntry(i), To: "hub"})
+	}
+	t.Objects = append(t.Objects, ObjSpec{Name: "hub", Node: nodeName(0)})
+	prev := "hub"
+	for p := 1; p < procs; p++ {
+		name := fmt.Sprintf("t%d", p)
+		t.Objects = append(t.Objects, ObjSpec{Name: name, Node: nodeName(p)})
+		t.Edges = append(t.Edges, EdgeSpec{From: prev, To: name})
+		prev = name
+	}
+	t.Objects = append(t.Objects, ObjSpec{Name: "fan", Node: nodeName(procs - 1)})
+	t.Edges = append(t.Edges, EdgeSpec{From: prev, To: "fan"})
+	for i := 0; i < k; i++ {
+		t.Edges = append(t.Edges, EdgeSpec{From: "fan", To: trunkEntry(i)})
+	}
+	return t
+}
+
+func trunkEntry(i int) string { return fmt.Sprintf("a%d", i) }
+
+// SharedTrunkEntries returns the names of the K fan-in objects of
+// SharedTrunk(k, ...): the detection candidates.
+func SharedTrunkEntries(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = trunkEntry(i)
+	}
+	return out
+}
+
+// WebGraph builds a seeded web of overlapping distributed garbage cycles:
+// `cycles` rings of random length threaded across `procs` processes, plus
+// `chords` extra references between randomly-chosen cycle objects. Nothing
+// is rooted, so everything is garbage, but the chords make cycles share
+// objects and edges — many detections traverse the same references, which
+// is where batching and hierarchical aggregation pay off. All randomness
+// comes from seed.
+func WebGraph(seed int64, procs, cycles, chords int) *Topology {
+	rng := rand.New(rand.NewSource(seed))
+	if procs < 2 {
+		procs = 2
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	t := &Topology{Name: fmt.Sprintf("web-%d-%dx%d+%d", seed, procs, cycles, chords)}
+	var all []string
+	for c := 0; c < cycles; c++ {
+		length := 3 + rng.Intn(procs+2)
+		names := make([]string, length)
+		for i := range names {
+			names[i] = fmt.Sprintf("w%d.%d", c, i)
+			t.Objects = append(t.Objects, ObjSpec{
+				Name: names[i],
+				Node: nodeName(rng.Intn(procs)),
+			})
+		}
+		for i := range names {
+			t.Edges = append(t.Edges, EdgeSpec{From: names[i], To: names[(i+1)%length]})
+		}
+		all = append(all, names...)
+	}
+	for i := 0; i < chords && len(all) > 1; i++ {
+		from := all[rng.Intn(len(all))]
+		to := all[rng.Intn(len(all))]
+		if from == to {
+			continue
+		}
+		t.Edges = append(t.Edges, EdgeSpec{From: from, To: to})
+	}
+	return t
+}
+
 // RandomConfig parameterizes RandomGraph.
 type RandomConfig struct {
 	Procs       int     // number of processes
