@@ -8,20 +8,21 @@
 //	dgc-node -id P1 -listen :7001 -peers P2=host2:7002,P3=host3:7003
 //	         [-tick 250ms] [-lgc-every 2] [-snapshot-every 4] [-detect-every 4]
 //	         [-snapshot-dir DIR] [-codec binary|reflect] [-seed-objects N]
-//	         [-state-file FILE] [-metrics-addr :9090]
+//	         [-state-file FILE] [-metrics-addr :9090] [-batch-detect=false]
 //
-// With -metrics-addr the daemon serves its collector and transport metrics
-// as Prometheus text at /metrics and a structural JSON diagnostic (tables,
-// inflight detections with causal trace ids, mailbox stats) at /debug/dgc.
+// With -metrics-addr the daemon serves the full admin control plane:
+// Prometheus text at /metrics, versioned JSON diagnostics at /debug/dgc, and
+// the /api/v1 operator API (status, tables, forced detection with trace ids,
+// snapshot/restore, fault injection) that the dgcctl CLI drives.
 //
 // The -*-every flags are multiples of the tick period (e.g. -tick 250ms
-// -lgc-every 2 runs the local collector every 500ms). Start one dgc-node
-// per machine (or per port for local experiments); the examples/tcpcluster
-// program shows the same topology driven from a single process. The daemon
-// prints a stats line every -stats-every ticks. On SIGINT/SIGTERM it
-// optionally persists collector state to -state-file, from which a restart
-// resumes (heap, stub/scion tables with invocation counters, sequence
-// numbers).
+// -lgc-every 2 runs the local collector every 500ms). Batched detection
+// traffic is on by default; -batch-detect=false restores the unbatched
+// reference behavior. On the first SIGINT/SIGTERM the daemon shuts down
+// gracefully — collector state is flushed to -state-file (from which a
+// restart resumes: heap, stub/scion tables with invocation counters,
+// sequence numbers) and the transport closes cleanly. A second signal forces
+// immediate exit.
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"dgc"
+	"dgc/internal/admin"
 )
 
 func main() {
@@ -54,113 +56,94 @@ func main() {
 		seedObjects   = flag.Int("seed-objects", 0, "allocate N rooted demo objects at startup")
 		statsEvery    = flag.Int("stats-every", 10, "print stats every N ticks (0 = never)")
 		broadcastDel  = flag.Bool("broadcast-delete", false, "broadcast scion deletion on cycle found")
-		batchDetect   = flag.Bool("batch-detect", false, "batch multi-candidate detection traffic into BatchCDMs")
+		batchDetect   = flag.Bool("batch-detect", true, "batch multi-candidate detection traffic into BatchCDMs (-batch-detect=false for the unbatched reference path)")
 		aggDetect     = flag.Bool("aggregate-detect", false, "hierarchical aggregation: partial matches return to the detection origin (implies -batch-detect)")
 		callTimeoutTk = flag.Uint64("call-timeout", 40, "RPC timeout in ticks")
 		stateFile     = flag.String("state-file", "", "persist collector state here: loaded at startup if present, saved on shutdown")
-		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics and JSON /debug/dgc on this address")
+		metricsAddr   = flag.String("metrics-addr", "", "serve the admin API (Prometheus /metrics, /debug/dgc, /api/v1) on this address")
 	)
 	flag.Parse()
 	if *id == "" {
 		log.Fatal("dgc-node: -id is required")
 	}
 
-	peers := map[dgc.NodeID]string{}
+	spec := admin.NodeSpec{
+		ID:          dgc.NodeID(*id),
+		Listen:      *listen,
+		Peers:       map[dgc.NodeID]string{},
+		StateFile:   *stateFile,
+		SeedObjects: *seedObjects,
+	}
 	if *peersFlag != "" {
 		for _, kv := range strings.Split(*peersFlag, ",") {
 			name, addr, ok := strings.Cut(kv, "=")
 			if !ok {
 				log.Fatalf("dgc-node: malformed peer %q (want name=addr)", kv)
 			}
-			peers[dgc.NodeID(name)] = addr
+			spec.Peers[dgc.NodeID(name)] = addr
 		}
 	}
 
-	ep, err := dgc.ListenTCP(dgc.NodeID(*id), *listen, peers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ep.Close()
-
-	// One metric set carries this node's collector and transport series; the
-	// registration is harmless when -metrics-addr is unset (nothing reads it).
-	metrics := dgc.NewMetricsSet()
-	ep.SetMetrics(dgc.NewTransportMetrics(metrics.Node(*id)))
-
-	cfg := dgc.Config{
+	spec.Config = dgc.Config{
 		CandidateMinAge:  *candidateAge,
 		CallTimeoutTicks: *callTimeoutTk,
 		SnapshotDir:      *snapshotDir,
-		Metrics:          metrics,
 	}
-	cfg.Detector.BroadcastDelete = *broadcastDel
-	cfg.BatchDetection = *batchDetect || *aggDetect
-	cfg.AggregateDetection = *aggDetect
+	spec.Config.Detector.BroadcastDelete = *broadcastDel
+	spec.Config.BatchDetection = *batchDetect || *aggDetect
+	spec.Config.AggregateDetection = *aggDetect
 	switch *codecName {
 	case "":
 	case "binary":
-		cfg.Codec = dgc.BinaryCodec{}
+		spec.Config.Codec = dgc.BinaryCodec{}
 	case "reflect":
-		cfg.Codec = dgc.ReflectCodec{}
+		spec.Config.Codec = dgc.ReflectCodec{}
 	default:
 		log.Fatalf("dgc-node: unknown codec %q", *codecName)
 	}
-	if cfg.SnapshotDir != "" && cfg.Codec == nil {
-		cfg.Codec = dgc.BinaryCodec{}
+	if spec.Config.SnapshotDir != "" && spec.Config.Codec == nil {
+		spec.Config.Codec = dgc.BinaryCodec{}
 	}
 
 	// Daemon intervals are tick multiples; the runtime schedules them on
 	// wall-clock tickers.
-	rcfg := dgc.RuntimeConfig{
+	spec.Runtime = dgc.RuntimeConfig{
 		Tick:             *tick,
 		LGCInterval:      time.Duration(*lgcEvery) * *tick,
 		SnapshotInterval: time.Duration(*snapEvery) * *tick,
 		DetectInterval:   time.Duration(*detectEvery) * *tick,
 	}
 
-	var rt *dgc.LiveRuntime
+	hadState := false
 	if *stateFile != "" {
-		if data, err := os.ReadFile(*stateFile); err == nil {
-			rt, err = dgc.RestoreLiveRuntime(ep, cfg, rcfg, data)
-			if err != nil {
-				log.Fatalf("dgc-node: restore %s: %v", *stateFile, err)
-			}
-			fmt.Printf("restored state from %s (%d objects)\n", *stateFile, rt.NumObjects())
-		} else if !os.IsNotExist(err) {
-			log.Fatalf("dgc-node: read %s: %v", *stateFile, err)
+		if _, err := os.Stat(*stateFile); err == nil {
+			hadState = true
 		}
 	}
-	if rt == nil {
-		rt = dgc.NewLiveRuntime(dgc.NodeID(*id), ep, cfg, rcfg)
+	sup, err := admin.StartNode(spec)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("dgc-node %s listening on %s (%d peers)\n", *id, ep.Addr(), len(peers))
+	if hadState {
+		fmt.Printf("restored state from %s (%d objects)\n", *stateFile, sup.DebugSnapshot().Objects)
+	} else if *seedObjects > 0 {
+		fmt.Printf("seeded %d rooted objects\n", *seedObjects)
+	}
+	fmt.Printf("dgc-node %s listening on %s (%d peers)\n", *id, sup.Addr(), len(spec.Peers))
 
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			log.Fatalf("dgc-node: metrics listen %s: %v", *metricsAddr, err)
 		}
+		srv := admin.NewServer(sup.Metrics())
+		srv.AddNode(sup)
+		go func() { _ = http.Serve(ln, srv.Handler()) }()
 		defer ln.Close()
-		handler := dgc.MetricsHandler(metrics, func() any { return rt.DebugSnapshot() })
-		go func() { _ = http.Serve(ln, handler) }()
-		fmt.Printf("metrics on http://%s/metrics (diagnostics at /debug/dgc)\n", ln.Addr())
+		fmt.Printf("admin API on http://%s (metrics at /metrics, diagnostics at /debug/dgc)\n", ln.Addr())
 	}
 
-	if *seedObjects > 0 {
-		if err := rt.With(func(m dgc.Mutator) {
-			for i := 0; i < *seedObjects; i++ {
-				obj := m.Alloc(nil)
-				if err := m.Root(obj); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("seeded %d rooted objects\n", *seedObjects)
-	}
-
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	// The runtime drives itself; this loop only reports.
@@ -173,26 +156,28 @@ func main() {
 	for {
 		select {
 		case <-statsC:
-			s := rt.Stats()
+			s := sup.Stats()
+			snap := sup.DebugSnapshot()
 			fmt.Printf("[%s t=%d] objects=%d scions=%d stubs=%d swept=%d detections=%d cycles=%d aborted=%d\n",
-				*id, s.Clock, rt.NumObjects(), rt.NumScions(), rt.NumStubs(),
+				*id, s.Clock, snap.Objects, snap.Scions, snap.Stubs,
 				s.ObjectsSwept, s.Detector.Started, s.Detector.CyclesFound, s.Detector.Aborted)
-		case <-sig:
-			s := rt.Stats()
-			objects := rt.NumObjects()
-			if *stateFile != "" {
-				data, err := rt.Save()
-				if err != nil {
-					log.Printf("dgc-node: save: %v", err)
-				} else if err := os.WriteFile(*stateFile, data, 0o644); err != nil {
-					log.Printf("dgc-node: write %s: %v", *stateFile, err)
-				} else {
-					fmt.Printf("\nstate saved to %s (%d bytes)\n", *stateFile, len(data))
-				}
+		case got := <-sig:
+			// Graceful: state flush + clean runtime/transport close. A second
+			// signal while that is in flight forces exit.
+			go func() {
+				<-sig
+				fmt.Println("\nsecond signal, forcing exit")
+				os.Exit(1)
+			}()
+			s := sup.Stats()
+			objects := sup.DebugSnapshot().Objects
+			if err := sup.Stop(); err != nil {
+				log.Printf("dgc-node: shutdown: %v", err)
+			} else if *stateFile != "" {
+				fmt.Printf("\nstate saved to %s\n", *stateFile)
 			}
-			rt.Close()
-			fmt.Printf("dgc-node %s shutting down: %d objects, %d swept over %d ticks\n",
-				*id, objects, s.ObjectsSwept, s.Clock)
+			fmt.Printf("dgc-node %s shut down on %v: %d objects, %d swept over %d ticks\n",
+				*id, got, objects, s.ObjectsSwept, s.Clock)
 			return
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"text/tabwriter"
 
 	"dgc"
+	"dgc/internal/admin"
 )
 
 func main() {
@@ -91,14 +92,11 @@ func main() {
 			log.Fatalf("metrics listen %s: %v", *metricsAddr, err)
 		}
 		defer ln.Close()
-		debug := func() any {
-			out := map[string]any{}
-			for _, n := range c.Nodes() {
-				out[string(n.ID())] = n.DebugSnapshot()
-			}
-			return out
+		srv := admin.NewServer(cfg.Metrics)
+		for _, n := range c.Nodes() {
+			srv.AddNode(n)
 		}
-		go func() { _ = http.Serve(ln, dgc.MetricsHandler(cfg.Metrics, debug)) }()
+		go func() { _ = http.Serve(ln, srv.Handler()) }()
 		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
 

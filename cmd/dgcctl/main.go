@@ -1,0 +1,24 @@
+// dgcctl is the operator CLI for dgc clusters: status, live top, table
+// dumps, forced cycle detection with trace-id follow, fault injection
+// (kill/restart/delay/drop/partition/heal), state snapshot/restore, and a
+// declarative cluster launcher (`dgcctl up -f cluster.yaml`). It drives any
+// process serving the internal/admin JSON API — dgc-node daemons, dgc-sim,
+// or a cluster started by `dgcctl up` itself.
+//
+//	dgcctl up -f cluster.yaml &
+//	dgcctl status
+//	dgcctl detect -scion 'A->1@B' -follow
+//	dgcctl inject kill -node B -recover 2s
+//
+// Run `dgcctl help` for the full command list.
+package main
+
+import (
+	"os"
+
+	"dgc/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

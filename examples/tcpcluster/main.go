@@ -11,10 +11,11 @@
 //
 //	go run ./examples/tcpcluster [-metrics-addr :9090]
 //
-// With -metrics-addr the program serves all three nodes' collector and
-// transport metrics at /metrics and their structural diagnostics (tables,
-// inflight detections with causal trace ids, mailbox stats) at /debug/dgc
-// while the run is in flight.
+// With -metrics-addr the program serves the admin control plane for all
+// three nodes while the run is in flight: collector and transport metrics at
+// /metrics, structural diagnostics (tables, inflight detections with causal
+// trace ids, mailbox stats) at /debug/dgc, and the /api/v1 operator API that
+// dgcctl drives.
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"dgc"
+	"dgc/internal/admin"
 )
 
 func main() {
@@ -75,14 +77,11 @@ func main() {
 			log.Fatalf("metrics listen %s: %v", *metricsAddr, err)
 		}
 		defer ln.Close()
-		debug := func() any {
-			out := map[string]any{}
-			for _, n := range names {
-				out[string(n)] = nodes[n].DebugSnapshot()
-			}
-			return out
+		srv := admin.NewServer(metrics)
+		for _, n := range names {
+			srv.AddNode(nodes[n])
 		}
-		go func() { _ = http.Serve(ln, dgc.MetricsHandler(metrics, debug)) }()
+		go func() { _ = http.Serve(ln, srv.Handler()) }()
 		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
 

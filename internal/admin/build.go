@@ -1,0 +1,69 @@
+package admin
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"dgc/internal/obs"
+)
+
+// Build identity. The variables are overridable at link time:
+//
+//	go build -ldflags "-X dgc/internal/admin.buildVersion=v1.2.3 -X dgc/internal/admin.buildCommit=abc123"
+//
+// When unset they fall back to the module build info stamped by the Go
+// toolchain (VCS revision when built from a checkout).
+var (
+	buildVersion string
+	buildCommit  string
+)
+
+// BuildInfo identifies the running binary: the payload of the status API's
+// "build" block and the labels of the dgc_build_info gauge.
+type BuildInfo struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit"`
+	Go      string `json:"go"`
+}
+
+// Build returns the binary's build identity.
+func Build() BuildInfo {
+	b := BuildInfo{Version: buildVersion, Commit: buildCommit, Go: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if ok {
+		if b.Version == "" && info.Main.Version != "" && info.Main.Version != "(devel)" {
+			b.Version = info.Main.Version
+		}
+		if b.Commit == "" {
+			for _, s := range info.Settings {
+				if s.Key == "vcs.revision" {
+					b.Commit = s.Value
+					if len(b.Commit) > 12 {
+						b.Commit = b.Commit[:12]
+					}
+				}
+			}
+		}
+	}
+	if b.Version == "" {
+		b.Version = "devel"
+	}
+	if b.Commit == "" {
+		b.Commit = "unknown"
+	}
+	return b
+}
+
+// RegisterBuildInfo publishes the dgc_build_info gauge (constant 1, with
+// version/commit/goversion labels — the Prometheus idiom for joining build
+// identity onto other series) into set. Idempotent per set.
+func RegisterBuildInfo(set *obs.Set) BuildInfo {
+	b := Build()
+	reg := set.Labeled("build",
+		obs.Label{Key: "version", Value: b.Version},
+		obs.Label{Key: "commit", Value: b.Commit},
+		obs.Label{Key: "goversion", Value: b.Go},
+	)
+	reg.Gauge("dgc_build_info", "Build identity of this binary; always 1, labels carry version and commit.").Set(1)
+	return b
+}

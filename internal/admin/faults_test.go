@@ -1,0 +1,184 @@
+package admin
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dgc/internal/ids"
+	"dgc/internal/transport"
+	"dgc/internal/wire"
+)
+
+// memEndpoint is a minimal in-memory endpoint recording sends.
+type memEndpoint struct {
+	mu   sync.Mutex
+	self ids.NodeID
+	sent []ids.NodeID
+	h    transport.Handler
+}
+
+func (m *memEndpoint) Self() ids.NodeID { return m.self }
+func (m *memEndpoint) Send(to ids.NodeID, msg wire.Message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sent = append(m.sent, to)
+	return nil
+}
+func (m *memEndpoint) SetHandler(h transport.Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.h = h
+}
+func (m *memEndpoint) Close() error { return nil }
+
+func (m *memEndpoint) sentCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sent)
+}
+
+// inject pushes an inbound message through whatever handler the fault layer
+// installed on this endpoint.
+func (m *memEndpoint) inject(from ids.NodeID, msg wire.Message) []transport.Envelope {
+	m.mu.Lock()
+	h := m.h
+	m.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h(from, msg)
+}
+
+var testMsg wire.Message = &wire.CreateScionAck{}
+
+func TestFaultEndpointDrop(t *testing.T) {
+	inner := &memEndpoint{self: "P1"}
+	fe := NewFaultEndpoint(inner, 1)
+	fe.SetDrop(1.0, 0)
+	for i := 0; i < 10; i++ {
+		if err := fe.Send("P2", testMsg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inner.sentCount() != 0 {
+		t.Errorf("sent %d messages through a rate-1.0 drop", inner.sentCount())
+	}
+	st := fe.FaultStatus()
+	if st.Dropped != 10 || st.DropRate != 1.0 || !st.Active() {
+		t.Errorf("status = %+v", st)
+	}
+	fe.Heal()
+	if err := fe.Send("P2", testMsg); err != nil {
+		t.Fatal(err)
+	}
+	if inner.sentCount() != 1 {
+		t.Errorf("healed endpoint still dropping")
+	}
+	if fe.FaultStatus().Active() {
+		t.Errorf("healed status still active: %+v", fe.FaultStatus())
+	}
+}
+
+func TestFaultEndpointPartitionBothWays(t *testing.T) {
+	inner := &memEndpoint{self: "P1"}
+	fe := NewFaultEndpoint(inner, 0)
+	var delivered int
+	fe.SetHandler(func(from ids.NodeID, msg wire.Message) []transport.Envelope {
+		delivered++
+		return nil
+	})
+	fe.SetPartition([]ids.NodeID{"P2"}, false, 0)
+
+	// Outbound to the partitioned peer is cut; other peers pass.
+	_ = fe.Send("P2", testMsg)
+	_ = fe.Send("P3", testMsg)
+	if inner.sentCount() != 1 {
+		t.Errorf("outbound: sent %d, want 1 (P3 only)", inner.sentCount())
+	}
+
+	// Inbound from the partitioned peer is cut at the shim.
+	inner.inject("P2", testMsg)
+	inner.inject("P3", testMsg)
+	if delivered != 1 {
+		t.Errorf("inbound: delivered %d, want 1 (P3 only)", delivered)
+	}
+
+	// Isolation (empty peer list) cuts everyone.
+	fe.SetPartition(nil, true, 0)
+	_ = fe.Send("P3", testMsg)
+	inner.inject("P3", testMsg)
+	if inner.sentCount() != 1 || delivered != 1 {
+		t.Errorf("isolate leaked: sent=%d delivered=%d", inner.sentCount(), delivered)
+	}
+}
+
+func TestFaultEndpointTTLAndGeneration(t *testing.T) {
+	inner := &memEndpoint{self: "P1"}
+	fe := NewFaultEndpoint(inner, 0)
+	fe.SetDrop(1.0, 10*time.Millisecond)
+	// Reconfigure before the TTL fires: the stale expiry must not clobber
+	// the newer injection.
+	fe.SetDrop(0.5, 0)
+	time.Sleep(30 * time.Millisecond)
+	if st := fe.FaultStatus(); st.DropRate != 0.5 {
+		t.Errorf("stale TTL reverted a newer injection: %+v", st)
+	}
+
+	fe.SetDrop(1.0, 10*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for fe.FaultStatus().DropRate != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("TTL never reverted the drop rate")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFaultEndpointSetInnerKeepsConfigAndHandler(t *testing.T) {
+	inner1 := &memEndpoint{self: "P1"}
+	fe := NewFaultEndpoint(inner1, 0)
+	var delivered int
+	fe.SetHandler(func(from ids.NodeID, msg wire.Message) []transport.Envelope {
+		delivered++
+		return nil
+	})
+	fe.SetDrop(1.0, 0)
+
+	// Swap the socket, as a supervisor restart does.
+	inner2 := &memEndpoint{self: "P1"}
+	fe.setInner(inner2)
+
+	if err := fe.Send("P2", testMsg); err != nil {
+		t.Fatal(err)
+	}
+	if inner2.sentCount() != 0 {
+		t.Error("drop config lost across setInner")
+	}
+	inner2.inject("P2", testMsg)
+	if delivered != 1 {
+		t.Error("handler not re-installed on the new inner endpoint")
+	}
+}
+
+func TestFaultEndpointDelay(t *testing.T) {
+	inner := &memEndpoint{self: "P1"}
+	fe := NewFaultEndpoint(inner, 0)
+	fe.SetDelay(20*time.Millisecond, 0)
+	if err := fe.Send("P2", testMsg); err != nil {
+		t.Fatal(err)
+	}
+	if inner.sentCount() != 0 {
+		t.Error("delayed message sent immediately")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for inner.sentCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("delayed message never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := fe.FaultStatus(); st.Delayed != 1 || st.DelayMS != 20 {
+		t.Errorf("status = %+v", st)
+	}
+}

@@ -1,0 +1,71 @@
+// Package cli implements dgcctl, the operator CLI over the admin control
+// plane (internal/admin). Every command talks to running clusters purely
+// through the versioned JSON admin API — the same surface cmd/dgc-node,
+// cmd/dgc-sim and examples/tcpcluster serve — so one binary drives any of
+// them. The entry point is testable: Run takes argv and writers and returns
+// an exit code, with no global state.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+const usage = `dgcctl drives a running dgc cluster through its admin API.
+
+Usage: dgcctl <command> [flags]
+
+Commands:
+  status     cluster overview: per-node state, tables, detection counters
+  top        live status, refreshed periodically
+  tables     one node's scion and stub tables
+  detect     force cycle detection (a full round, or one scion with -scion)
+  inject     fault injection: kill, restart, delay, drop, partition, heal
+  snapshot   save (or -restore) a node's durable collector state
+  up         start a local TCP cluster from a declarative spec file
+
+Endpoints:
+  Commands find admin endpoints via -e (comma-separated [name=]host:port),
+  the DGCCTL_ENDPOINTS environment variable (same syntax), or an endpoints
+  file written by 'dgcctl up' (-endpoints-file, default dgcctl.endpoints).
+
+Run 'dgcctl <command> -h' for command flags.
+`
+
+// Run executes one dgcctl invocation: args is argv without the program name.
+func Run(args []string, stdout, stderr io.Writer) int {
+	return RunContext(context.Background(), args, stdout, stderr)
+}
+
+// RunContext is Run with cancellation: long-running commands (up, top,
+// detect -follow) stop cleanly when ctx is done.
+func RunContext(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "status":
+		return cmdStatus(rest, stdout, stderr)
+	case "top":
+		return cmdTop(ctx, rest, stdout, stderr)
+	case "tables":
+		return cmdTables(rest, stdout, stderr)
+	case "detect":
+		return cmdDetect(ctx, rest, stdout, stderr)
+	case "inject":
+		return cmdInject(rest, stdout, stderr)
+	case "snapshot":
+		return cmdSnapshot(rest, stdout, stderr)
+	case "up":
+		return cmdUp(ctx, rest, stdout, stderr)
+	case "help", "-h", "--help", "-help":
+		fmt.Fprint(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "dgcctl: unknown command %q\n\n%s", cmd, usage)
+		return 2
+	}
+}

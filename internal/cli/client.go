@@ -1,0 +1,308 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dgc/internal/admin"
+	"dgc/internal/node"
+)
+
+// Endpoint is one admin API address, optionally tagged with the node it
+// hosts (a single server may host several nodes — dgc-sim, tcpcluster).
+type Endpoint struct {
+	Name string // node id when known, "" otherwise
+	Addr string // host:port of the admin HTTP listener
+}
+
+// endpointFlags are the shared -e / -endpoints-file pair every command
+// registers.
+type endpointFlags struct {
+	list string
+	file string
+}
+
+func (ef *endpointFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&ef.list, "e", "", "admin endpoints, comma-separated [name=]host:port (overrides the endpoints file)")
+	fs.StringVar(&ef.file, "endpoints-file", "", "endpoints file written by 'dgcctl up' (default $DGCCTL_ENDPOINTS or dgcctl.endpoints)")
+}
+
+// resolve returns the endpoint list: -e beats DGCCTL_ENDPOINTS beats the
+// endpoints file.
+func (ef *endpointFlags) resolve() ([]Endpoint, error) {
+	list := ef.list
+	if list == "" {
+		if env := os.Getenv("DGCCTL_ENDPOINTS"); env != "" && !strings.Contains(env, string(os.PathSeparator)) && !fileExists(env) {
+			list = env
+		}
+	}
+	if list != "" {
+		var eps []Endpoint
+		for _, item := range strings.Split(list, ",") {
+			item = strings.TrimSpace(item)
+			if item == "" {
+				continue
+			}
+			name, addr, ok := strings.Cut(item, "=")
+			if !ok {
+				eps = append(eps, Endpoint{Addr: item})
+			} else {
+				eps = append(eps, Endpoint{Name: name, Addr: addr})
+			}
+		}
+		if len(eps) == 0 {
+			return nil, fmt.Errorf("empty endpoint list %q", list)
+		}
+		return eps, nil
+	}
+	file := ef.file
+	if file == "" {
+		if env := os.Getenv("DGCCTL_ENDPOINTS"); env != "" && fileExists(env) {
+			file = env
+		} else {
+			file = "dgcctl.endpoints"
+		}
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, fmt.Errorf("no endpoints: pass -e, set DGCCTL_ENDPOINTS, or run 'dgcctl up' (%v)", err)
+	}
+	return parseEndpointsFile(data)
+}
+
+func fileExists(p string) bool {
+	_, err := os.Stat(p)
+	return err == nil
+}
+
+// parseEndpointsFile reads the "name addr" lines 'dgcctl up' writes.
+func parseEndpointsFile(data []byte) ([]Endpoint, error) {
+	var eps []Endpoint
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch len(fields) {
+		case 1:
+			eps = append(eps, Endpoint{Addr: fields[0]})
+		case 2:
+			eps = append(eps, Endpoint{Name: fields[0], Addr: fields[1]})
+		default:
+			return nil, fmt.Errorf("malformed endpoints line %q", line)
+		}
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("endpoints file is empty")
+	}
+	return eps, nil
+}
+
+// Client talks to one admin server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the admin server at addr (host:port).
+func NewClient(addr string) *Client {
+	return &Client{
+		base: "http://" + addr,
+		hc:   &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	return decodeReply(resp, out)
+}
+
+func (c *Client) post(path string, body []byte, out any) error {
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decodeReply(resp, out)
+}
+
+func decodeReply(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s", apiErr.Error)
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Status fetches /api/v1/status.
+func (c *Client) Status() (*admin.StatusReply, error) {
+	var reply admin.StatusReply
+	if err := c.get("/api/v1/status", &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Detections fetches /api/v1/detections.
+func (c *Client) Detections() (*admin.DetectionsReply, error) {
+	var reply admin.DetectionsReply
+	if err := c.get("/api/v1/detections", &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// TablesReply mirrors the /api/v1/tables payload.
+type TablesReply struct {
+	SchemaVersion int `json:"schema_version"`
+	node.TableDump
+}
+
+// Tables fetches one node's scion/stub tables.
+func (c *Client) Tables(nodeID string) (*TablesReply, error) {
+	var reply TablesReply
+	if err := c.get("/api/v1/tables?node="+nodeID, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Detect forces detection on nodeID: a full candidate round, or one scion
+// when scion is non-empty.
+func (c *Client) Detect(nodeID, scion string) (*admin.DetectReply, error) {
+	path := "/api/v1/detect?node=" + nodeID
+	if scion != "" {
+		path += "&scion=" + strings.ReplaceAll(scion, ">", "%3E")
+	}
+	var reply admin.DetectReply
+	if err := c.post(path, nil, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Inject posts a fault-injection action.
+func (c *Client) Inject(nodeID string, req admin.InjectRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.post("/api/v1/inject?node="+nodeID, body, nil)
+}
+
+// Snapshot serializes a node's durable state.
+func (c *Client) Snapshot(nodeID string) (*admin.SnapshotReply, error) {
+	var reply admin.SnapshotReply
+	if err := c.post("/api/v1/snapshot?node="+nodeID, nil, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Restore replaces a node's durable state with base64 text.
+func (c *Client) Restore(nodeID, stateB64 string) error {
+	return c.post("/api/v1/restore?node="+nodeID, []byte(stateB64), nil)
+}
+
+// fleet is the resolved set of admin endpoints a command operates on, with
+// the node -> client mapping discovered from live status.
+type fleet struct {
+	eps     []Endpoint
+	clients map[string]*Client // node id -> client, filled by refresh
+	status  map[string]admin.NodeStatus
+	build   admin.BuildInfo
+}
+
+func newFleet(ef *endpointFlags) (*fleet, error) {
+	eps, err := ef.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return &fleet{eps: eps}, nil
+}
+
+// refresh queries status from every endpoint, building the merged per-node
+// view and the node -> client routing table. Unreachable endpoints named in
+// the endpoints file degrade to a "down" row instead of failing the whole
+// command (a killed node's admin listener dies with it).
+func (f *fleet) refresh() error {
+	f.clients = make(map[string]*Client)
+	f.status = make(map[string]admin.NodeStatus)
+	var firstErr error
+	reached := 0
+	for _, ep := range f.eps {
+		c := NewClient(ep.Addr)
+		reply, err := c.Status()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %v", ep.Addr, err)
+			}
+			if ep.Name != "" {
+				f.status[ep.Name] = admin.NodeStatus{Node: ep.Name, State: "unreachable"}
+				f.clients[ep.Name] = c
+			}
+			continue
+		}
+		reached++
+		f.build = reply.Build
+		for id, st := range reply.Nodes {
+			f.status[id] = st
+			f.clients[id] = c
+		}
+	}
+	if reached == 0 {
+		return fmt.Errorf("no admin endpoint reachable: %v", firstErr)
+	}
+	return nil
+}
+
+// client returns the admin client hosting nodeID.
+func (f *fleet) client(nodeID string) (*Client, error) {
+	if c, ok := f.clients[nodeID]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("no endpoint hosts node %q (known: %s)", nodeID, strings.Join(f.nodeIDs(), ", "))
+}
+
+// one returns the only node's id, for single-node clusters where -node can
+// be omitted.
+func (f *fleet) one() (string, error) {
+	ids := f.nodeIDs()
+	if len(ids) == 1 {
+		return ids[0], nil
+	}
+	return "", fmt.Errorf("-node is required (cluster has %d nodes: %s)", len(ids), strings.Join(ids, ", "))
+}
+
+func (f *fleet) nodeIDs() []string {
+	ids := make([]string, 0, len(f.status))
+	for id := range f.status {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

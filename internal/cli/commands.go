@@ -1,0 +1,397 @@
+package cli
+
+import (
+	"context"
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dgc/internal/admin"
+)
+
+// fail prints err and returns exit code 1.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "dgcctl: %v\n", err)
+	return 1
+}
+
+func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *endpointFlags) {
+	fs := flag.NewFlagSet("dgcctl "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ef := &endpointFlags{}
+	ef.register(fs)
+	return fs, ef
+}
+
+func cmdStatus(args []string, stdout, stderr io.Writer) int {
+	fs, ef := newFlagSet("status", stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := f.refresh(); err != nil {
+		return fail(stderr, err)
+	}
+	printStatus(stdout, f)
+	return 0
+}
+
+func printStatus(w io.Writer, f *fleet) {
+	fmt.Fprintf(w, "build %s (%s, %s)\n", f.build.Version, f.build.Commit, f.build.Go)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tSTATE\tADDR\tCLOCK\tOBJECTS\tSCIONS\tSTUBS\tSWEPT\tDETECTIONS\tCYCLES\tINFLIGHT\tFAULTS")
+	for _, id := range f.nodeIDs() {
+		st := f.status[id]
+		faults := "-"
+		if st.Faults != nil && st.Faults.Active() {
+			var parts []string
+			if st.Faults.DropRate > 0 {
+				parts = append(parts, fmt.Sprintf("drop=%.2f", st.Faults.DropRate))
+			}
+			if st.Faults.DelayMS > 0 {
+				parts = append(parts, fmt.Sprintf("delay=%dms", st.Faults.DelayMS))
+			}
+			if st.Faults.Isolate {
+				parts = append(parts, "isolated")
+			} else if len(st.Faults.Partition) > 0 {
+				parts = append(parts, "cut:"+strings.Join(st.Faults.Partition, "+"))
+			}
+			faults = strings.Join(parts, ",")
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			st.Node, st.State, st.Addr, st.Clock, st.Objects, st.Scions, st.Stubs,
+			st.ObjectsSwept, st.Detections.Started, st.Detections.CyclesFound,
+			st.Detections.Inflight, faults)
+	}
+	tw.Flush()
+}
+
+func cmdTop(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs, ef := newFlagSet("top", stderr)
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	n := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for i := 0; *n == 0 || i < *n; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return 0
+			case <-time.After(*interval):
+			}
+		}
+		if err := f.refresh(); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "--- %s ---\n", time.Now().Format(time.TimeOnly))
+		printStatus(stdout, f)
+	}
+	return 0
+}
+
+func cmdTables(args []string, stdout, stderr io.Writer) int {
+	fs, ef := newFlagSet("tables", stderr)
+	nodeID := fs.String("node", "", "node to dump (optional on single-node clusters)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := f.refresh(); err != nil {
+		return fail(stderr, err)
+	}
+	id := *nodeID
+	if id == "" {
+		if id, err = f.one(); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	c, err := f.client(id)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	reply, err := c.Tables(id)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "node %s: %d scions, %d stubs\n", reply.Node, len(reply.Scions), len(reply.Stubs))
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "KIND\tREF\tIC")
+	for _, sc := range reply.Scions {
+		fmt.Fprintf(tw, "scion\t%s\t%d\n", sc.Ref, sc.IC)
+	}
+	for _, st := range reply.Stubs {
+		fmt.Fprintf(tw, "stub\t%s\t%d\n", st.Ref, st.IC)
+	}
+	tw.Flush()
+	return 0
+}
+
+func cmdDetect(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs, ef := newFlagSet("detect", stderr)
+	nodeID := fs.String("node", "", "node to start the detection round on (default: every node)")
+	scion := fs.String("scion", "", `force one candidate, "SRC->OBJ@NODE" (as printed by tables)`)
+	follow := fs.Bool("follow", false, "poll the detection to a terminal outcome via its trace id")
+	timeout := fs.Duration("timeout", 30*time.Second, "give up following after this long")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := f.refresh(); err != nil {
+		return fail(stderr, err)
+	}
+	baseCycles, baseAborted := detectorTotals(f)
+
+	var traceID string
+	switch {
+	case *scion != "":
+		// The scion names its owner: route there.
+		ref, err := admin.ParseRefID(*scion)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		owner := string(ref.Dst.Node)
+		c, err := f.client(owner)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		reply, err := c.Detect(owner, *scion)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		res := reply.Result
+		fmt.Fprintf(stdout, "detection %s/%d at %s: %s (trace %s)\n",
+			res.Origin, res.Seq, owner, res.Outcome, res.TraceID)
+		for _, g := range res.GarbageScions {
+			fmt.Fprintf(stdout, "  garbage scion %s\n", g)
+		}
+		if res.Outcome != "forwarded" {
+			return 0 // already terminal, nothing to follow
+		}
+		traceID = res.TraceID
+	case *nodeID != "":
+		c, err := f.client(*nodeID)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		reply, err := c.Detect(*nodeID, "")
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "%s: started %d detections\n", *nodeID, reply.Started)
+	default:
+		total := 0
+		for _, id := range f.nodeIDs() {
+			c, err := f.client(id)
+			if err != nil {
+				continue
+			}
+			reply, err := c.Detect(id, "")
+			if err != nil {
+				fmt.Fprintf(stderr, "dgcctl: %s: %v\n", id, err)
+				continue
+			}
+			total += reply.Started
+		}
+		fmt.Fprintf(stdout, "started %d detections across %d nodes\n", total, len(f.nodeIDs()))
+	}
+	if !*follow {
+		return 0
+	}
+	return followDetections(ctx, f, traceID, baseCycles, baseAborted, *timeout, stdout, stderr)
+}
+
+// detectorTotals sums terminal-outcome counters across the cluster.
+func detectorTotals(f *fleet) (cycles, aborted uint64) {
+	for _, st := range f.status {
+		cycles += st.Detections.CyclesFound
+		aborted += st.Detections.Aborted
+	}
+	return
+}
+
+// followDetections polls the cluster until a terminal outcome shows up: the
+// cycles-found (or aborted) totals move, or — when following one trace id —
+// the detection disappears from every node's inflight table. Non-terminal
+// forwarders age tracked detections out lazily, so counter movement is the
+// prompt signal and trace-id absence the definitive one.
+func followDetections(ctx context.Context, f *fleet, traceID string, baseCycles, baseAborted uint64, timeout time.Duration, stdout, stderr io.Writer) int {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for {
+		select {
+		case <-ctx.Done():
+			return 1
+		case <-time.After(100 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(stderr, "dgcctl: detection still in flight after %v\n", timeout)
+			return 1
+		}
+		if err := f.refresh(); err != nil {
+			continue // a node may be mid-restart; keep polling
+		}
+		cycles, aborted := detectorTotals(f)
+		if cycles > baseCycles {
+			fmt.Fprintf(stdout, "cycle found (+%d) after %v\n",
+				cycles-baseCycles, time.Since(start).Round(time.Millisecond))
+			return 0
+		}
+		if aborted > baseAborted {
+			fmt.Fprintf(stdout, "detection aborted (+%d)\n", aborted-baseAborted)
+			return 0
+		}
+		if traceID != "" && !traceInflight(f, traceID) {
+			fmt.Fprintln(stdout, "detection completed (no longer in flight)")
+			return 0
+		}
+	}
+}
+
+func traceInflight(f *fleet, traceID string) bool {
+	seen := map[*Client]bool{}
+	for _, c := range f.clients {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		reply, err := c.Detections()
+		if err != nil {
+			continue
+		}
+		for _, dets := range reply.Nodes {
+			for _, d := range dets {
+				if d.TraceID == traceID {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func cmdInject(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintln(stderr, "usage: dgcctl inject kill|restart|delay|drop|partition|heal [flags]")
+		return 2
+	}
+	action, rest := args[0], args[1:]
+	fs, ef := newFlagSet("inject "+action, stderr)
+	nodeID := fs.String("node", "", "target node (optional on single-node clusters)")
+	rate := fs.Float64("rate", 0, "drop probability for 'drop' (0..1)")
+	delay := fs.Duration("delay", 0, "injected latency for 'delay'")
+	peers := fs.String("peers", "", "comma-separated peers for 'partition' (empty = isolate from all)")
+	ttl := fs.Duration("for", 0, "auto-heal delay/drop/partition after this long (0 = until healed)")
+	recoverAfter := fs.Duration("recover", 0, "auto-restart after 'kill' (0 = stay down)")
+	if err := fs.Parse(rest); err != nil {
+		return 2
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := f.refresh(); err != nil {
+		return fail(stderr, err)
+	}
+	id := *nodeID
+	if id == "" {
+		if id, err = f.one(); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	c, err := f.client(id)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	req := admin.InjectRequest{Action: action, Rate: *rate}
+	if *delay > 0 {
+		req.Delay = delay.String()
+	}
+	if *ttl > 0 {
+		req.For = ttl.String()
+	}
+	if *recoverAfter > 0 {
+		req.Recover = recoverAfter.String()
+	}
+	if *peers != "" {
+		req.Peers = strings.Split(*peers, ",")
+	}
+	if err := c.Inject(id, req); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "%s: %s injected\n", id, action)
+	return 0
+}
+
+func cmdSnapshot(args []string, stdout, stderr io.Writer) int {
+	fs, ef := newFlagSet("snapshot", stderr)
+	nodeID := fs.String("node", "", "target node (optional on single-node clusters)")
+	out := fs.String("o", "", "write the state here (default <node>.state)")
+	restore := fs.String("restore", "", "restore the node from this state file instead of saving")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := f.refresh(); err != nil {
+		return fail(stderr, err)
+	}
+	id := *nodeID
+	if id == "" {
+		if id, err = f.one(); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	c, err := f.client(id)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *restore != "" {
+		data, err := os.ReadFile(*restore)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := c.Restore(id, base64.StdEncoding.EncodeToString(data)); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "%s: restored %d bytes from %s\n", id, len(data), *restore)
+		return 0
+	}
+	reply, err := c.Snapshot(id)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	data, err := base64.StdEncoding.DecodeString(reply.State)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	path := *out
+	if path == "" {
+		path = id + ".state"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "%s: %d bytes saved to %s\n", id, len(data), path)
+	return 0
+}

@@ -360,6 +360,29 @@ func (s *Set) Node(name string) *Registry {
 	return r
 }
 
+// Labeled returns the registry stored under key with the given label set,
+// creating it on first use — the home for process-level series whose labels
+// are not a node name (e.g. the dgc_build_info version/commit gauge). Keys
+// live in a separate namespace from Node names, so a node called "build"
+// cannot collide with a Labeled("build", ...) registry. Labels are fixed at
+// creation; later calls with the same key return the existing registry.
+// Safe on a nil Set (returns a fresh private registry nothing scrapes).
+func (s *Set) Labeled(key string, labels ...Label) *Registry {
+	if s == nil {
+		return NewRegistry(labels...)
+	}
+	key = "\x00" + key // private namespace, disjoint from node names
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.regs[key]; ok {
+		return r
+	}
+	r := NewRegistry(labels...)
+	s.regs[key] = r
+	s.order = append(s.order, key)
+	return r
+}
+
 // Registries returns the set's registries in creation order.
 func (s *Set) Registries() []*Registry {
 	if s == nil {

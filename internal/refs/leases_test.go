@@ -101,6 +101,85 @@ func TestLeaseApplyStubSetStillDeletesUnlisted(t *testing.T) {
 	}
 }
 
+func TestLeaseExpiryBoundaryIsExclusive(t *testing.T) {
+	// A lease of N ticks means the scion survives through now-last == N and
+	// expires at now-last == N+1: renewal cadence equal to the lease length
+	// is safe.
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	l := NewLeaseDGC(tb, 3)
+	l.Grant("P1", 6, 10)
+	if got := l.Expire(13); len(got) != 0 {
+		t.Fatalf("expired at exactly Duration ticks: %v", got)
+	}
+	if got := l.Expire(14); len(got) != 1 {
+		t.Fatalf("survived past Duration: %v", got)
+	}
+}
+
+func TestLeaseExpireCanonicalOrder(t *testing.T) {
+	// Expiry reports are consumed like stub-set deletions, so they must be
+	// in canonical (Src, Obj) order regardless of table iteration order.
+	tb := NewTable("P9")
+	for _, sc := range []struct {
+		src ids.NodeID
+		obj ids.ObjID
+	}{{"P3", 1}, {"P1", 9}, {"P1", 2}, {"P2", 5}} {
+		tb.EnsureScion(sc.src, sc.obj)
+	}
+	l := NewLeaseDGC(tb, 1)
+	for _, sc := range tb.Scions() {
+		l.Grant(sc.Src, sc.Obj, 0)
+	}
+	got := l.Expire(5)
+	if len(got) != 4 {
+		t.Fatalf("Expire = %v", got)
+	}
+	want := []struct {
+		src ids.NodeID
+		obj ids.ObjID
+	}{{"P1", 2}, {"P1", 9}, {"P2", 5}, {"P3", 1}}
+	for i, w := range want {
+		if got[i].Src != w.src || got[i].Obj != w.obj {
+			t.Fatalf("Expire[%d] = %v, want %s/%d", i, got[i], w.src, w.obj)
+		}
+	}
+}
+
+func TestLeaseRegrantAfterExpiryRestartsClock(t *testing.T) {
+	// A reference that reappears after its scion expired (holder resends, a
+	// new remote store arrives) gets a fresh lease, not the stale record.
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	l := NewLeaseDGC(tb, 2)
+	l.Grant("P1", 6, 0)
+	if got := l.Expire(3); len(got) != 1 {
+		t.Fatalf("setup expiry failed: %v", got)
+	}
+	tb.EnsureScion("P1", 6)
+	l.Grant("P1", 6, 3)
+	if got := l.Expire(5); len(got) != 0 {
+		t.Fatalf("re-granted scion expired on the old clock: %v", got)
+	}
+	if got := l.Expire(6); len(got) != 1 {
+		t.Fatalf("re-granted lease never expired: %v", got)
+	}
+}
+
+func TestLeaseRenewalIgnoresUnknownScions(t *testing.T) {
+	// A stub set listing an object with no scion here must not create lease
+	// state: only real scions carry leases.
+	tb := NewTable("P2")
+	l := NewLeaseDGC(tb, 2)
+	l.ApplyStubSetAt(StubSetMsg{From: "P1", Seq: 1, Objs: []ids.ObjID{42}}, 1)
+	if len(l.renewed) != 0 {
+		t.Fatalf("phantom lease records: %v", l.renewed)
+	}
+	if got := l.Expire(10); len(got) != 0 {
+		t.Fatalf("Expire on empty table = %v", got)
+	}
+}
+
 func TestLeaseUngrantedScionGetsDefensiveLease(t *testing.T) {
 	tb := NewTable("P2")
 	tb.EnsureScion("P1", 6) // created without Grant
