@@ -536,6 +536,58 @@ func BenchmarkCDMHopInstrumented(b *testing.B) {
 	}
 }
 
+func BenchmarkCDMHopJournaled(b *testing.B) {
+	// BenchmarkCDMHopInstrumented plus the event-journal writes the node
+	// layer performs per handled CDM: the cdm-handled emission and the
+	// cdm-sent emission for the forwarded message, against a journal at the
+	// daemons' default capacity with no subscribers (the steady state — the
+	// fan-out loop is empty and the cost is seq++, the ring store, and the
+	// Sprintf of the detail line). The bar matches PR 4's instrumentation:
+	// within noise of the uninstrumented hop.
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			alg := core.NewAlg()
+			for i := 0; i < n; i++ {
+				r := ids.RefID{Src: "P1", Dst: ids.GlobalRef{Node: "P2", Obj: ids.ObjID(i)}}
+				alg.AddSource(r, uint64(i))
+				if i%2 == 0 {
+					alg.AddTarget(r, uint64(i))
+				}
+			}
+			det := core.DetectionID{Origin: "P1", Seq: 1}
+			along := ids.RefID{Src: "P9", Dst: ids.GlobalRef{Node: "P1", Obj: 1}}
+			newSrc := ids.RefID{Src: "P8", Dst: ids.GlobalRef{Node: "P9", Obj: 7}}
+			frame := make([]byte, 0, 4096)
+			met := dgc.NewNodeMetrics(dgc.NewMetricsRegistry())
+			inflight := map[core.DetectionID]struct{}{}
+			journal := dgc.NewTraceLog(8192)
+			tid := core.TraceIDFor(det)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				met.CDMsHandled.Inc()
+				met.CDMHops.Observe(3)
+				if _, ok := inflight[det]; !ok {
+					inflight[det] = struct{}{}
+				}
+				derived := alg.Clone()
+				derived.AddTarget(along, 3)
+				derived.AddSource(newSrc, 4)
+				if _, abort := derived.MatchStatus(); abort {
+					b.Fatal("unexpected abort")
+				}
+				journal.EmitTraced("P1", dgc.TraceKindCDMHandled, tid,
+					"det=%s/%d along=%s outcome=forwarded", det.Origin, det.Seq, along)
+				msg := wire.NewCDMFromAlg(det, along, derived, 3, tid)
+				frame = wire.AppendEncode(frame[:0], msg)
+				journal.EmitTraced("P1", dgc.TraceKindCDMSent, tid,
+					"det=%s/%d to=%s along=%s hops=%d", det.Origin, det.Seq, along.Dst.Node, along, 3)
+				met.CDMsSent.Inc()
+			}
+		})
+	}
+}
+
 func BenchmarkLGC(b *testing.B) {
 	// Local collection over a 10k-object heap with distributed edges.
 	cfg := dgc.Config{}

@@ -61,6 +61,7 @@ func main() {
 		callTimeoutTk = flag.Uint64("call-timeout", 40, "RPC timeout in ticks")
 		stateFile     = flag.String("state-file", "", "persist collector state here: loaded at startup if present, saved on shutdown")
 		metricsAddr   = flag.String("metrics-addr", "", "serve the admin API (Prometheus /metrics, /debug/dgc, /api/v1) on this address")
+		pprofMode     = flag.String("pprof", "auto", "serve /debug/pprof on the admin address: on, off, or auto (loopback only)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -137,10 +138,14 @@ func main() {
 			log.Fatalf("dgc-node: metrics listen %s: %v", *metricsAddr, err)
 		}
 		srv := admin.NewServer(sup.Metrics())
+		if admin.PprofEnabled(*pprofMode, *metricsAddr) {
+			srv.EnablePprof()
+			fmt.Printf("pprof profiles on http://%s/debug/pprof/\n", ln.Addr())
+		}
 		srv.AddNode(sup)
 		go func() { _ = http.Serve(ln, srv.Handler()) }()
 		defer ln.Close()
-		fmt.Printf("admin API on http://%s (metrics at /metrics, diagnostics at /debug/dgc)\n", ln.Addr())
+		fmt.Printf("admin API on http://%s (metrics at /metrics, diagnostics at /debug/dgc, events at /api/v1/events)\n", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 2)

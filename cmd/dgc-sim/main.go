@@ -45,6 +45,7 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/dgc on this address during the run")
 		metricsJSON = flag.Bool("metrics-json", false, "dump the full metric set as one JSON object per round")
+		pprofMode   = flag.String("pprof", "auto", "serve /debug/pprof on the metrics address: on, off, or auto (loopback only)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,10 @@ func main() {
 	if *traceN > 0 {
 		events = dgc.NewTraceLog(*traceN)
 		cfg.Trace = events
+	} else if *metricsAddr != "" {
+		// The admin event stream (/api/v1/events) reads the shared journal;
+		// give it one even when -trace printing is off.
+		cfg.Trace = dgc.NewTraceLog(8192)
 	}
 	c := dgc.NewCluster(*seed, cfg)
 	if _, err := c.Materialize(topo, cfg); err != nil {
@@ -93,6 +98,9 @@ func main() {
 		}
 		defer ln.Close()
 		srv := admin.NewServer(cfg.Metrics)
+		if admin.PprofEnabled(*pprofMode, *metricsAddr) {
+			srv.EnablePprof()
+		}
 		for _, n := range c.Nodes() {
 			srv.AddNode(n)
 		}

@@ -175,6 +175,13 @@ type (
 // events.
 func NewTraceLog(capacity int) *TraceLog { return trace.New(capacity) }
 
+// Journal event kinds most useful to embedders filtering a TraceLog or
+// benchmarking emission overhead (the full set lives in internal/trace).
+const (
+	TraceKindCDMHandled = trace.KindCDMHandled
+	TraceKindCDMSent    = trace.KindCDMSent
+)
+
 // Observability types: configure Config.Metrics with NewMetricsSet, serve it
 // with MetricsHandler, and read structural diagnostics via DebugSnapshot
 // (see internal/obs and DESIGN.md §9).

@@ -32,6 +32,7 @@ import (
 
 func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/dgc for the whole cluster")
+	pprofMode := flag.String("pprof", "auto", "serve /debug/pprof on the metrics address: on, off, or auto (loopback only)")
 	flag.Parse()
 
 	// One metric set spans the whole in-process cluster: each node publishes
@@ -58,6 +59,9 @@ func main() {
 		}
 	}
 	cfg := dgc.Config{CallTimeoutTicks: 200, CandidateMinAge: 2, Metrics: metrics}
+	// One journal spans the cluster (like the metric set): /api/v1/events on
+	// the admin listener then streams every node's detection lifecycle.
+	cfg.Trace = dgc.NewTraceLog(8192)
 	rcfg := dgc.RuntimeConfig{
 		Tick:             25 * time.Millisecond,
 		LGCInterval:      50 * time.Millisecond,
@@ -78,11 +82,14 @@ func main() {
 		}
 		defer ln.Close()
 		srv := admin.NewServer(metrics)
+		if admin.PprofEnabled(*pprofMode, *metricsAddr) {
+			srv.EnablePprof()
+		}
 		for _, n := range names {
 			srv.AddNode(nodes[n])
 		}
 		go func() { _ = http.Serve(ln, srv.Handler()) }()
-		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Printf("metrics on http://%s/metrics (events at /api/v1/events)\n", ln.Addr())
 	}
 
 	// Each node publishes one anchor object; A's anchor is rooted.

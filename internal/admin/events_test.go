@@ -1,0 +1,235 @@
+package admin
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dgc/internal/trace"
+)
+
+// journaledHandle is a fakeHandle that exposes an event journal.
+type journaledHandle struct {
+	fakeHandle
+	log *trace.Log
+}
+
+func (j *journaledHandle) Journal() *trace.Log { return j.log }
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func decodeNDJSON(t *testing.T, body string) []EventJSON {
+	t.Helper()
+	var out []EventJSON
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" {
+			continue
+		}
+		var e EventJSON
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestEventsEndpointSinceAndFilters(t *testing.T) {
+	log := trace.New(16) // 16 is also the floor New imposes
+	for i := 1; i <= 24; i++ {
+		kind := trace.KindLGC
+		if i%2 == 0 {
+			kind = trace.KindCDMSent
+		}
+		log.EmitTraced("P1", kind, uint64(0xabc), "ev=%d", i)
+	}
+	s := NewServer(nil)
+	s.AddNode(&journaledHandle{fakeHandle: fakeHandle{id: "P1"}, log: log})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Resume from seq 2: the ring retains 9..24, so events 3..8 were evicted
+	// and the stream opens with a truncation marker carrying the exact count.
+	resp, err := http.Get(srv.URL + "/api/v1/events?since=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if got := resp.Header.Get("Dgc-Journal-Head"); got != "24" {
+		t.Errorf("Dgc-Journal-Head = %q, want 24", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	events := decodeNDJSON(t, body)
+	if len(events) != 17 {
+		t.Fatalf("got %d lines, want marker + 16 events:\n%s", len(events), body)
+	}
+	if events[0].Kind != "dropped" || events[0].Missed != 6 {
+		t.Errorf("first line = %+v, want dropped marker with missed=6", events[0])
+	}
+	for i, e := range events[1:] {
+		if want := uint64(9 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if events[1].Trace != fmt.Sprintf("%016x", 0xabc) {
+		t.Errorf("trace id = %q", events[1].Trace)
+	}
+
+	// Kind filter keeps only cdm-sent (even seqs among the retained 9..24).
+	resp, err = http.Get(srv.URL + "/api/v1/events?kind=cdm-sent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events = decodeNDJSON(t, readAll(t, resp))
+	// since=0 with a truncated ring still reports the gap before filtering.
+	if len(events) != 9 || events[0].Kind != "dropped" ||
+		events[1].Seq != 10 || events[8].Seq != 24 {
+		t.Errorf("kind filter got %+v", events)
+	}
+
+	// Unknown kind and malformed trace are 400s.
+	for _, q := range []string{"?kind=wibble", "?trace=zz", "?since=x", "?timeout=-1s"} {
+		resp, err := http.Get(srv.URL + "/api/v1/events" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestEventsEndpointFollowStreamsLive(t *testing.T) {
+	log := trace.New(64)
+	log.Emit("P1", trace.KindLGC, "before")
+	s := NewServer(nil)
+	s.AddNode(&journaledHandle{fakeHandle: fakeHandle{id: "P1"}, log: log})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/events?follow=true&timeout=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+
+	// Backlog first.
+	if !sc.Scan() {
+		t.Fatal("no backlog line")
+	}
+	var e EventJSON
+	if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Seq != 1 {
+		t.Fatalf("backlog line = %s (err %v)", sc.Text(), err)
+	}
+	// Then live events, in order, exactly once.
+	go func() {
+		for i := 0; i < 3; i++ {
+			log.Emit("P1", trace.KindDetectionEnd, "live")
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	for want := uint64(2); want <= 4; want++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended before seq %d", want)
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Seq != want {
+			t.Fatalf("live seq = %d, want %d (dup or gap)", e.Seq, want)
+		}
+	}
+}
+
+func TestEventsEndpointNoJournal(t *testing.T) {
+	s := NewServer(nil)
+	s.AddNode(&fakeHandle{id: "P1"})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("status = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestJournalMetricsAtScrape(t *testing.T) {
+	log := trace.New(16)
+	for i := 0; i < 20; i++ {
+		log.Emit("P1", trace.KindLGC, "ev")
+	}
+	s := NewServer(nil)
+	s.AddNode(&journaledHandle{fakeHandle: fakeHandle{id: "P1"}, log: log})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{
+		`dgc_trace_events_emitted{node="P1"} 20`,
+		`dgc_trace_events_ring_dropped{node="P1"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestPprofEnabled(t *testing.T) {
+	cases := []struct {
+		mode, addr string
+		want       bool
+	}{
+		{"on", "0.0.0.0:9090", true},
+		{"off", "127.0.0.1:9090", false},
+		{"auto", "127.0.0.1:9090", true},
+		{"auto", "localhost:9090", true},
+		{"auto", ":9090", true},
+		{"auto", "[::1]:9090", true},
+		{"auto", "0.0.0.0:9090", false},
+		{"auto", "10.1.2.3:9090", false},
+	}
+	for _, c := range cases {
+		if got := PprofEnabled(c.mode, c.addr); got != c.want {
+			t.Errorf("PprofEnabled(%q, %q) = %v, want %v", c.mode, c.addr, got, c.want)
+		}
+	}
+}
+
+func TestPprofServedWhenEnabled(t *testing.T) {
+	s := NewServer(nil)
+	s.EnablePprof()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,46 @@
+package admin
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// AttachPprof registers the net/http/pprof handlers on mux. The binaries
+// serve the admin API on their own ServeMux (never http.DefaultServeMux),
+// so the profiler's self-registration in init() does not reach them; this
+// wires the same handlers explicitly. CPU, heap, goroutine and the rest of
+// the standard profiles become grabbable at /debug/pprof/ on the metrics
+// address of a live cluster.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// PprofEnabled resolves the -pprof tri-state flag against the serve
+// address: "on"/"off" are explicit, anything else ("auto") enables the
+// profiler only when addr binds a loopback interface — profiles expose
+// memory contents, so a non-loopback admin listener must opt in.
+func PprofEnabled(mode, addr string) bool {
+	switch mode {
+	case "on", "true", "1":
+		return true
+	case "off", "false", "0":
+		return false
+	}
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		host = addr
+	}
+	if host == "" || strings.EqualFold(host, "localhost") {
+		return true
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		return ip.IsLoopback()
+	}
+	return false
+}

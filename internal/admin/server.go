@@ -17,6 +17,7 @@ import (
 	"dgc/internal/lgc"
 	"dgc/internal/node"
 	"dgc/internal/obs"
+	"dgc/internal/trace"
 )
 
 // SchemaVersion is the version of every JSON payload the admin API serves
@@ -77,11 +78,16 @@ type LGCRunner interface {
 type Server struct {
 	set   *obs.Set
 	build BuildInfo
+	pprof bool
 
 	mu    sync.Mutex
 	nodes map[string]Handle
 	order []string
 }
+
+// EnablePprof makes Handler also serve the net/http/pprof profiles at
+// /debug/pprof/. Call before Handler; see PprofEnabled for the flag policy.
+func (s *Server) EnablePprof() { s.pprof = true }
 
 // NewServer creates a server over the given metrics set (a fresh set when
 // nil) and publishes the dgc_build_info gauge into it.
@@ -263,6 +269,7 @@ type InjectRequest struct {
 //	GET  /api/v1/status       cluster status: build, per-node state/counters
 //	GET  /api/v1/tables       one node's scion/stub tables (?node=)
 //	GET  /api/v1/detections   in-flight detections with trace ids
+//	GET  /api/v1/events       journal event stream, NDJSON (?since=&kind=&trace=&follow=)
 //	POST /api/v1/detect       force detection round, or one scion (&scion=)
 //	POST /api/v1/lgc          force a local collection
 //	POST /api/v1/summarize    force a summary rebuild
@@ -273,7 +280,11 @@ type InjectRequest struct {
 // Every JSON payload carries schema_version. Errors are {"error": "..."}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	if s.pprof {
+		AttachPprof(mux)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.syncJournalMetrics()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.set.WriteText(w)
 	})
@@ -423,6 +434,7 @@ func (s *Server) Handler() http.Handler {
 			Bytes         int    `json:"bytes"`
 		}{SchemaVersion, string(h.ID()), true, len(data)})
 	}))
+	mux.HandleFunc("/api/v1/events", s.handleEvents)
 	mux.HandleFunc("/api/v1/inject", s.post(s.handleInject))
 	return mux
 }
@@ -517,6 +529,28 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown action %q", req.Action))
 		return
+	}
+	// Journal the fault action so event timelines show operator-induced
+	// chaos next to the protocol's reaction. Kill/restart are journaled by
+	// the supervisor itself (covering timed auto-recovery, which never
+	// passes through this handler).
+	if req.Action != "kill" && req.Action != "restart" {
+		if j, ok := h.(Journaler); ok && j.Journal() != nil {
+			detail := "action=" + req.Action
+			if req.Rate > 0 {
+				detail += fmt.Sprintf(" rate=%.2f", req.Rate)
+			}
+			if req.Delay != "" {
+				detail += " delay=" + req.Delay
+			}
+			if len(req.Peers) > 0 {
+				detail += " peers=" + strings.Join(req.Peers, "+")
+			}
+			if req.For != "" {
+				detail += " for=" + req.For
+			}
+			j.Journal().Emit(h.ID(), trace.KindFault, "%s", detail)
+		}
 	}
 	reply := struct {
 		SchemaVersion int          `json:"schema_version"`

@@ -11,12 +11,17 @@ import (
 	"dgc/internal/lgc"
 	"dgc/internal/node"
 	"dgc/internal/obs"
+	"dgc/internal/trace"
 	"dgc/internal/transport"
 )
 
 // ErrNodeDown is returned by supervisor operations that need a running
 // runtime while the node is killed or stopped.
 var ErrNodeDown = errors.New("admin: node is down")
+
+// defaultJournalCapacity sizes the event journal StartNode creates when the
+// spec doesn't bring its own.
+const defaultJournalCapacity = 8192
 
 // NodeSpec describes one live node: everything cmd/dgc-node used to wire by
 // hand — transport listen address, peers, collector configuration, runtime
@@ -75,6 +80,12 @@ func StartNode(spec NodeSpec) (*Supervisor, error) {
 	}
 	if spec.Config.Metrics == nil {
 		spec.Config.Metrics = obs.NewSet()
+	}
+	if spec.Config.Trace == nil {
+		// Live nodes journal by default: the event stream is the admin
+		// plane's observability backbone, and an 8k ring is cheap. Pass an
+		// explicit Log (or a filtered one) to override.
+		spec.Config.Trace = trace.New(defaultJournalCapacity)
 	}
 	s := &Supervisor{
 		spec:   spec,
@@ -195,6 +206,11 @@ func (s *Supervisor) Metrics() *obs.Set { return s.set }
 // Faults returns the node's fault injector (stable across restarts).
 func (s *Supervisor) Faults() *FaultEndpoint { return s.faults }
 
+// Journal returns the node's event journal. It lives in the spec, not the
+// runtime, so the stream (and its sequence numbers) survives Kill/Restart —
+// the observability-across-faults property the admin event API depends on.
+func (s *Supervisor) Journal() *trace.Log { return s.spec.Config.Trace }
+
 // teardownLocked saves, closes and detaches the current runtime and
 // endpoint. Caller holds mu.
 func (s *Supervisor) teardownLocked() {
@@ -230,6 +246,9 @@ func (s *Supervisor) Kill(recoverAfter time.Duration) error {
 		return ErrNodeDown
 	}
 	s.teardownLocked()
+	if j := s.spec.Config.Trace; j != nil {
+		j.Emit(s.spec.ID, trace.KindFault, "action=kill recover=%s", recoverAfter)
+	}
 	if recoverAfter > 0 {
 		time.AfterFunc(recoverAfter, func() { _ = s.Restart() })
 	}
@@ -247,7 +266,13 @@ func (s *Supervisor) Restart() error {
 	if s.rt != nil {
 		return nil
 	}
-	return s.startLocked(s.lastState)
+	if err := s.startLocked(s.lastState); err != nil {
+		return err
+	}
+	if j := s.spec.Config.Trace; j != nil {
+		j.Emit(s.spec.ID, trace.KindFault, "action=restart")
+	}
+	return nil
 }
 
 // RestoreState replaces the node's collector state in place: the current

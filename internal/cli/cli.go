@@ -21,6 +21,8 @@ Commands:
   top        live status, refreshed periodically
   tables     one node's scion and stub tables
   detect     force cycle detection (a full round, or one scion with -scion)
+  tail       follow the live event journal of every node, merged
+  trace      reconstruct one detection's causal span tree across nodes
   inject     fault injection: kill, restart, delay, drop, partition, heal
   snapshot   save (or -restore) a node's durable collector state
   up         start a local TCP cluster from a declarative spec file
@@ -55,6 +57,10 @@ func RunContext(ctx context.Context, args []string, stdout, stderr io.Writer) in
 		return cmdTables(rest, stdout, stderr)
 	case "detect":
 		return cmdDetect(ctx, rest, stdout, stderr)
+	case "tail":
+		return cmdTail(ctx, rest, stdout, stderr)
+	case "trace":
+		return cmdTrace(ctx, rest, stdout, stderr)
 	case "inject":
 		return cmdInject(rest, stdout, stderr)
 	case "snapshot":

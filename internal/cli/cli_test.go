@@ -6,11 +6,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 )
+
+var traceIDRe = regexp.MustCompile(`trace ([0-9a-f]{16})`)
 
 // syncBuffer lets the up goroutine and test assertions share a writer.
 type syncBuffer struct {
@@ -96,12 +99,43 @@ func TestLiveE2EDgcctl(t *testing.T) {
 
 	// Force detection at the known scion until the ring is reclaimed.
 	// A single attempt can land mid-churn and abort; the operator loop is
-	// "run dgcctl detect again".
+	// "run dgcctl detect again". -follow resolves through the event stream
+	// (no counter polling), and every attempt prints its causal trace id.
+	sawTrace := false
 	waitFor(t, 20*time.Second, "ring reclaimed via dgcctl detect", func() bool {
 		var out bytes.Buffer
 		Run(append([]string{"detect", "-scion", "A->1@B", "-follow", "-timeout", "5s"}, ef...), &out, &out)
+		sawTrace = sawTrace || traceIDRe.MatchString(out.String())
 		return clusterObjects(t, epFile) == 0
 	})
+	if !sawTrace {
+		t.Fatal("detect output never printed a trace id")
+	}
+
+	// tail replays the retained journal; the cycle-found line names the
+	// winning detection's trace id (a racing attempt may have printed its
+	// own id above, so the journal is the authority).
+	var tail bytes.Buffer
+	if code := Run(append([]string{"tail", "-all", "-kind", "cycle-found", "-for", "1s"}, ef...), &tail, &tail); code != 0 {
+		t.Fatalf("tail: exit %d\n%s", code, tail.String())
+	}
+	m := regexp.MustCompile(`cycle-found\s+\[([0-9a-f]{16})\]`).FindStringSubmatch(tail.String())
+	if m == nil {
+		t.Fatalf("tail shows no cycle-found event:\n%s", tail.String())
+	}
+
+	// The winning detection crossed the whole ring: its reconstructed
+	// timeline must be a causal span tree spanning all three nodes ending in
+	// a terminal event.
+	var tl bytes.Buffer
+	if code := Run(append(append([]string{"trace", "-wait", "5s"}, ef...), m[1]), &tl, &tl); code != 0 {
+		t.Fatalf("trace: exit %d\n%s", code, tl.String())
+	}
+	for _, want := range []string{"across 3 nodes", "detection-start", "cdm-sent", "cycle-found", "A (", "B (", "C ("} {
+		if !strings.Contains(tl.String(), want) {
+			t.Fatalf("trace output missing %q:\n%s", want, tl.String())
+		}
+	}
 
 	// Chaos: kill B with auto-recover, confirm it comes back.
 	var inj bytes.Buffer

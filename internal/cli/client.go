@@ -1,14 +1,19 @@
 package cli
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -111,6 +116,9 @@ func parseEndpointsFile(data []byte) ([]Endpoint, error) {
 type Client struct {
 	base string
 	hc   *http.Client
+	// sc serves the long-lived /api/v1/events streams: no overall timeout
+	// (the server bounds stream duration), cancellation via context.
+	sc *http.Client
 }
 
 // NewClient returns a client for the admin server at addr (host:port).
@@ -118,6 +126,7 @@ func NewClient(addr string) *Client {
 	return &Client{
 		base: "http://" + addr,
 		hc:   &http.Client{Timeout: 10 * time.Second},
+		sc:   &http.Client{},
 	}
 }
 
@@ -228,6 +237,95 @@ func (c *Client) Restore(nodeID, stateB64 string) error {
 	return c.post("/api/v1/restore?node="+nodeID, []byte(stateB64), nil)
 }
 
+// EventStreamOptions selects the /api/v1/events slice to stream.
+type EventStreamOptions struct {
+	Node    string        // ?node= (optional; servers default to their first journaled node)
+	Since   uint64        // resume after this sequence number
+	Kinds   string        // comma-separated kind names, "" = all
+	TraceID string        // hex causal trace id, "" = all
+	Follow  bool          // long-poll live events after the backlog
+	Timeout time.Duration // server-side stream bound in follow mode
+}
+
+func (o EventStreamOptions) query() string {
+	q := url.Values{}
+	if o.Node != "" {
+		q.Set("node", o.Node)
+	}
+	if o.Since > 0 {
+		q.Set("since", strconv.FormatUint(o.Since, 10))
+	}
+	if o.Kinds != "" {
+		q.Set("kind", o.Kinds)
+	}
+	if o.TraceID != "" {
+		q.Set("trace", o.TraceID)
+	}
+	if o.Follow {
+		q.Set("follow", "true")
+	}
+	if o.Timeout > 0 {
+		q.Set("timeout", o.Timeout.String())
+	}
+	return q.Encode()
+}
+
+// StreamEvents reads the admin event journal as NDJSON, invoking fn for
+// every line (journal events and truncation markers both). fn returning
+// false stops the stream early. The returned head is the journal's sequence
+// number at request time (the Dgc-Journal-Head header), usable as a
+// baseline for a later Since.
+func (c *Client) StreamEvents(ctx context.Context, opts EventStreamOptions, fn func(admin.EventJSON) bool) (head uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/events?"+opts.query(), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.sc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return 0, fmt.Errorf("%s", apiErr.Error)
+		}
+		return 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	head, _ = strconv.ParseUint(resp.Header.Get("Dgc-Journal-Head"), 10, 64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev admin.EventJSON
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return head, fmt.Errorf("bad event line %q: %w", line, err)
+		}
+		if !fn(ev) {
+			return head, nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return head, err
+	}
+	return head, nil
+}
+
+// JournalHead returns the endpoint journal's current sequence number
+// without replaying any events (a since-past-the-end probe).
+func (c *Client) JournalHead(ctx context.Context, nodeID string) (uint64, error) {
+	return c.StreamEvents(ctx, EventStreamOptions{
+		Node:  nodeID,
+		Since: math.MaxUint64,
+	}, func(admin.EventJSON) bool { return false })
+}
+
 // fleet is the resolved set of admin endpoints a command operates on, with
 // the node -> client mapping discovered from live status.
 type fleet struct {
@@ -305,4 +403,29 @@ func (f *fleet) nodeIDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// serverClient is one distinct admin server and the nodes it hosts.
+type serverClient struct {
+	c     *Client
+	nodes []string
+}
+
+// servers deduplicates the node -> client routing table into one entry per
+// admin server (a dgc-sim or tcpcluster process hosts several nodes behind
+// one listener), in stable node-id order.
+func (f *fleet) servers() []serverClient {
+	index := make(map[*Client]int)
+	var out []serverClient
+	for _, id := range f.nodeIDs() {
+		c := f.clients[id]
+		i, ok := index[c]
+		if !ok {
+			i = len(out)
+			index[c] = i
+			out = append(out, serverClient{c: c})
+		}
+		out[i].nodes = append(out[i].nodes, id)
+	}
+	return out
 }

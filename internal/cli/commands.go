@@ -158,7 +158,18 @@ func cmdDetect(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	if err := f.refresh(); err != nil {
 		return fail(stderr, err)
 	}
-	baseCycles, baseAborted := detectorTotals(f)
+	// Baseline every server's journal head BEFORE triggering anything, so
+	// the follow stream replays exactly the events this command caused.
+	baselines := make(map[*Client]uint64)
+	if *follow {
+		for _, sv := range f.servers() {
+			head, err := sv.c.JournalHead(ctx, "")
+			if err != nil {
+				return fail(stderr, fmt.Errorf("%s: no event stream (server predates journals?): %w", sv.nodes[0], err))
+			}
+			baselines[sv.c] = head
+		}
+	}
 
 	var traceID string
 	switch {
@@ -216,76 +227,87 @@ func cmdDetect(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	if !*follow {
 		return 0
 	}
-	return followDetections(ctx, f, traceID, baseCycles, baseAborted, *timeout, stdout, stderr)
+	return followDetections(ctx, f, traceID, baselines, *timeout, stdout, stderr)
 }
 
-// detectorTotals sums terminal-outcome counters across the cluster.
-func detectorTotals(f *fleet) (cycles, aborted uint64) {
-	for _, st := range f.status {
-		cycles += st.Detections.CyclesFound
-		aborted += st.Detections.Aborted
-	}
-	return
-}
-
-// followDetections polls the cluster until a terminal outcome shows up: the
-// cycles-found (or aborted) totals move, or — when following one trace id —
-// the detection disappears from every node's inflight table. Non-terminal
-// forwarders age tracked detections out lazily, so counter movement is the
-// prompt signal and trace-id absence the definitive one.
-func followDetections(ctx context.Context, f *fleet, traceID string, baseCycles, baseAborted uint64, timeout time.Duration, stdout, stderr io.Writer) int {
+// followDetections follows the event stream of every admin server until a
+// terminal detection event arrives: cycle-found, or detection-end (whose
+// detail carries the outcome). Following one trace id filters the streams to
+// that detection; otherwise any terminal event past the pre-trigger journal
+// baseline resolves the wait. No counter polling: the journal replay from
+// the baseline makes the race between "detection finished" and "client
+// subscribed" unlosable.
+func followDetections(ctx context.Context, f *fleet, traceID string, baselines map[*Client]uint64, timeout time.Duration, stdout, stderr io.Writer) int {
 	start := time.Now()
-	deadline := start.Add(timeout)
-	for {
-		select {
-		case <-ctx.Done():
-			return 1
-		case <-time.After(100 * time.Millisecond):
-		}
-		if time.Now().After(deadline) {
-			fmt.Fprintf(stderr, "dgcctl: detection still in flight after %v\n", timeout)
-			return 1
-		}
-		if err := f.refresh(); err != nil {
-			continue // a node may be mid-restart; keep polling
-		}
-		cycles, aborted := detectorTotals(f)
-		if cycles > baseCycles {
-			fmt.Fprintf(stdout, "cycle found (+%d) after %v\n",
-				cycles-baseCycles, time.Since(start).Round(time.Millisecond))
-			return 0
-		}
-		if aborted > baseAborted {
-			fmt.Fprintf(stdout, "detection aborted (+%d)\n", aborted-baseAborted)
-			return 0
-		}
-		if traceID != "" && !traceInflight(f, traceID) {
-			fmt.Fprintln(stdout, "detection completed (no longer in flight)")
-			return 0
-		}
-	}
-}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 
-func traceInflight(f *fleet, traceID string) bool {
-	seen := map[*Client]bool{}
-	for _, c := range f.clients {
-		if seen[c] {
-			continue
-		}
-		seen[c] = true
-		reply, err := c.Detections()
-		if err != nil {
-			continue
-		}
-		for _, dets := range reply.Nodes {
-			for _, d := range dets {
-				if d.TraceID == traceID {
-					return true
+	terminal := make(chan admin.EventJSON, len(f.servers()))
+	for _, sv := range f.servers() {
+		sv := sv
+		go func() {
+			since := baselines[sv.c]
+			if traceID != "" {
+				// The trace filter scopes the replay, so rewind to the full
+				// retained history: a detection that raced ahead of the
+				// baseline capture is still found.
+				since = 0
+			}
+			done := false
+			for !done && ctx.Err() == nil {
+				opts := EventStreamOptions{
+					Since:   since,
+					Kinds:   "cycle-found,detection-end",
+					TraceID: traceID,
+					Follow:  true,
+					Timeout: timeout,
+				}
+				_, err := sv.c.StreamEvents(ctx, opts, func(e admin.EventJSON) bool {
+					if e.Seq == 0 {
+						return true // truncation/eviction marker
+					}
+					if e.Seq > since {
+						since = e.Seq
+					}
+					select {
+					case terminal <- e:
+					default:
+					}
+					done = true
+					return false
+				})
+				if err != nil && ctx.Err() == nil {
+					// Node mid-restart or stream cut; resume from last seq.
+					select {
+					case <-ctx.Done():
+					case <-time.After(200 * time.Millisecond):
+					}
 				}
 			}
-		}
+		}()
 	}
-	return false
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintf(stderr, "dgcctl: detection still in flight after %v\n", timeout)
+		return 1
+	case e := <-terminal:
+		outcome := e.Kind
+		if o := detailField(e.Detail, "outcome"); o != "" {
+			outcome = o
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if outcome == "cycle-found" {
+			fmt.Fprintf(stdout, "cycle found at %s after %v", e.Node, elapsed)
+		} else {
+			fmt.Fprintf(stdout, "detection %s at %s after %v", outcome, e.Node, elapsed)
+		}
+		if e.Trace != "" {
+			fmt.Fprintf(stdout, " (trace %s)", e.Trace)
+		}
+		fmt.Fprintln(stdout)
+		return 0
+	}
 }
 
 func cmdInject(args []string, stdout, stderr io.Writer) int {

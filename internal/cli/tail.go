@@ -1,0 +1,99 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dgc/internal/admin"
+)
+
+// cmdTail streams live journal events from every admin server in the fleet,
+// merged onto stdout as they arrive. By default it baselines at "now" and
+// follows; -all replays each server's retained history first.
+func cmdTail(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs, ef := newFlagSet("tail", stderr)
+	kinds := fs.String("kind", "", "comma-separated event kinds to keep (default all)")
+	traceID := fs.String("trace", "", "keep only events of one causal trace id (hex)")
+	all := fs.Bool("all", false, "replay retained history before following")
+	dur := fs.Duration("for", 0, "stop after this long (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := f.refresh(); err != nil {
+		return fail(stderr, err)
+	}
+
+	if *dur > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *dur)
+		defer cancel()
+	}
+
+	var mu sync.Mutex // serializes output lines across server streams
+	print := func(e admin.EventJSON) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case e.Seq == 0 && e.Missed > 0:
+			fmt.Fprintf(stderr, "dgcctl: %s\n", e.Detail)
+		case e.Seq == 0:
+			fmt.Fprintf(stderr, "dgcctl: %s\n", e.Detail)
+		default:
+			tid := ""
+			if e.Trace != "" {
+				tid = " [" + e.Trace + "]"
+			}
+			fmt.Fprintf(stdout, "%-12s #%-6d %-15s%s %s\n", e.Node, e.Seq, e.Kind, tid, e.Detail)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, sv := range f.servers() {
+		sv := sv
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			since := uint64(0)
+			if !*all {
+				head, err := sv.c.JournalHead(ctx, "")
+				if err != nil {
+					mu.Lock()
+					fmt.Fprintf(stderr, "dgcctl: %s: %v\n", sv.nodes[0], err)
+					mu.Unlock()
+					return
+				}
+				since = head
+			}
+			// The server caps each follow stream; reconnect from the last
+			// seen sequence until the command's own deadline.
+			for ctx.Err() == nil {
+				opts := EventStreamOptions{
+					Since: since, Kinds: *kinds, TraceID: *traceID,
+					Follow: true, Timeout: time.Minute,
+				}
+				_, err := sv.c.StreamEvents(ctx, opts, func(e admin.EventJSON) bool {
+					if e.Seq > since {
+						since = e.Seq
+					}
+					print(e)
+					return true
+				})
+				if err != nil && ctx.Err() == nil {
+					mu.Lock()
+					fmt.Fprintf(stderr, "dgcctl: %s: %v\n", sv.nodes[0], err)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return 0
+}

@@ -1,0 +1,111 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dgc/internal/admin"
+)
+
+func te(node string, seq uint64, kind, detail string, ms int) traceEvent {
+	return traceEvent{
+		EventJSON: admin.EventJSON{Node: node, Seq: seq, Kind: kind, Detail: detail},
+		at:        time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC).Add(time.Duration(ms) * time.Millisecond),
+	}
+}
+
+func TestDetailField(t *testing.T) {
+	d := "det=A/3 to=B along=A->1@B hops=2"
+	if got := detailField(d, "to"); got != "B" {
+		t.Errorf("to = %q", got)
+	}
+	if got := detailField(d, "hops"); got != "2" {
+		t.Errorf("hops = %q", got)
+	}
+	if got := detailField(d, "missing"); got != "" {
+		t.Errorf("missing = %q", got)
+	}
+	// "to" must not match the "to=..." inside another key's value prefix.
+	if got := detailField("auto=x to=y", "to"); got != "y" {
+		t.Errorf("to = %q", got)
+	}
+}
+
+func TestBuildSpanTreeCausalOrder(t *testing.T) {
+	// B originates, forwards to A, A forwards to C, C finds the cycle and B
+	// records the terminal outcome: the tree must read B -> A -> C.
+	events := []traceEvent{
+		te("B", 1, "detection-start", "det=B/1 candidate=A->1@B", 0),
+		te("B", 2, "cdm-sent", "det=B/1 to=A along=A->1@B hops=1", 1),
+		te("A", 1, "cdm-handled", "det=B/1 outcome=forwarded", 2),
+		te("A", 2, "cdm-sent", "det=B/1 to=C along=C->1@A hops=2", 3),
+		te("C", 1, "cdm-handled", "det=B/1 outcome=forwarded", 4),
+		te("C", 2, "cdm-sent", "det=B/1 to=B along=B->1@C hops=3", 5),
+		te("B", 3, "cycle-found", "det=B/1 members=3", 6),
+		te("B", 4, "detection-end", "det=B/1 outcome=cycle-found", 7),
+	}
+	root := buildSpanTree(events)
+	if root == nil || root.node != "B" {
+		t.Fatalf("root = %+v, want B", root)
+	}
+	if len(root.children) != 1 || root.children[0].node != "A" {
+		t.Fatalf("B children = %+v, want [A]", root.children)
+	}
+	a := root.children[0]
+	if len(a.children) != 1 || a.children[0].node != "C" {
+		t.Fatalf("A children = %+v, want [C]", a.children)
+	}
+	if n := len(root.events); n != 4 {
+		t.Errorf("B holds %d events, want 4", n)
+	}
+
+	term, ok := terminalEvent(events)
+	if !ok || term.Kind != "detection-end" {
+		t.Errorf("terminal = %+v ok=%v", term, ok)
+	}
+
+	var out bytes.Buffer
+	printSpanTree(&out, root, events[0].at)
+	s := out.String()
+	for _, want := range []string{"B (4 events)", "  A (2 events)", "    C (2 events)", "cycle-found"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	// A's block must come after B's and before C's (causal depth ordering).
+	if bi, ai, ci := strings.Index(s, "B (4"), strings.Index(s, "A (2"), strings.Index(s, "C (2"); !(bi < ai && ai < ci) {
+		t.Errorf("block order B=%d A=%d C=%d:\n%s", bi, ai, ci, s)
+	}
+}
+
+func TestBuildSpanTreeOrphansAttachToRoot(t *testing.T) {
+	// The linking cdm-sent from B to C was truncated out of the ring: C still
+	// shows up, parented to the root rather than dropped from the tree.
+	events := []traceEvent{
+		te("B", 1, "detection-start", "det=B/1", 0),
+		te("C", 1, "cdm-handled", "det=B/1 outcome=forwarded", 2),
+	}
+	root := buildSpanTree(events)
+	if root.node != "B" || len(root.children) != 1 || root.children[0].node != "C" {
+		t.Fatalf("tree = %+v", root)
+	}
+}
+
+func TestBuildSpanTreeNoStart(t *testing.T) {
+	// History truncated past detection-start: the oldest-seen node roots the
+	// tree so the command still renders something useful.
+	events := []traceEvent{
+		te("A", 5, "cdm-handled", "det=B/1 outcome=forwarded", 0),
+		te("A", 6, "cdm-sent", "det=B/1 to=C hops=4", 1),
+		te("C", 9, "cycle-found", "det=B/1", 2),
+	}
+	root := buildSpanTree(events)
+	if root.node != "A" || len(root.children) != 1 || root.children[0].node != "C" {
+		t.Fatalf("tree = %+v", root)
+	}
+	if buildSpanTree(nil) != nil {
+		t.Error("empty events should yield nil tree")
+	}
+}

@@ -6,8 +6,8 @@
 package ids
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -29,7 +29,9 @@ type GlobalRef struct {
 
 // String renders the reference in the paper's subscript style, e.g. "F@P2".
 func (g GlobalRef) String() string {
-	return fmt.Sprintf("%d@%s", g.Obj, g.Node)
+	// Manual concat: this renders on every journal emission and table dump,
+	// where nested Sprintf calls dominated the cost.
+	return strconv.FormatUint(uint64(g.Obj), 10) + "@" + string(g.Node)
 }
 
 // IsZero reports whether g is the zero reference (no node and object 0).
@@ -60,7 +62,7 @@ type RefID struct {
 
 // String renders the reference as "P1->F@P2".
 func (r RefID) String() string {
-	return fmt.Sprintf("%s->%s", r.Src, r.Dst)
+	return string(r.Src) + "->" + r.Dst.String()
 }
 
 // Less imposes a total order on reference identifiers.

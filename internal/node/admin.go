@@ -111,19 +111,21 @@ func (m *Machine) ForceDetect(candidate ids.RefID) (ForceDetectResult, error) {
 		Outcome:   out.Kind.String(),
 		Forwarded: out.Forwarded,
 	}
+	tid := core.TraceIDFor(det)
 	switch out.Kind {
 	case core.OutcomeForwarded:
 		m.met.DetectionsStarted.Inc()
 		m.met.CDMsSent.Add(uint64(out.Forwarded))
-		m.trackDetection(det, core.TraceIDFor(det))
-		m.emit(trace.KindDetectionStart, "det=%s/%d candidate=%s forced", det.Origin, det.Seq, candidate)
+		m.trackDetection(det, tid)
+		m.emitT(trace.KindDetectionStart, tid, "det=%s/%d candidate=%s forced", det.Origin, det.Seq, candidate)
 	case core.OutcomeCycleFound:
 		m.met.CyclesFound.Inc()
 		for _, ref := range out.GarbageScions {
 			res.GarbageScions = append(res.GarbageScions, ref.String())
 		}
-		m.emit(trace.KindCycleFound, "det=%s/%d scions=%d forced",
+		m.emitT(trace.KindCycleFound, tid, "det=%s/%d scions=%d forced",
 			det.Origin, det.Seq, len(out.GarbageScions))
+		m.emitT(trace.KindDetectionEnd, tid, "det=%s/%d outcome=%s", det.Origin, det.Seq, out.Kind)
 	}
 	m.flushCDMBatch()
 	m.syncGauges()

@@ -181,18 +181,20 @@ func (m *Machine) RunDetection() int {
 	m.beginCDMBatch()
 	for _, c := range cands {
 		det, out := m.detector.StartDetection(m.summary, c)
+		tid := core.TraceIDFor(det)
 		switch out.Kind {
 		case core.OutcomeForwarded:
 			started++
 			m.met.DetectionsStarted.Inc()
 			m.met.CDMsSent.Add(uint64(out.Forwarded))
-			m.trackDetection(det, core.TraceIDFor(det))
-			m.emit(trace.KindDetectionStart, "det=%s/%d candidate=%s", det.Origin, det.Seq, c)
+			m.trackDetection(det, tid)
+			m.emitT(trace.KindDetectionStart, tid, "det=%s/%d candidate=%s", det.Origin, det.Seq, c)
 		case core.OutcomeCycleFound:
 			// EagerComplete only: the first derivation already closed.
 			m.met.CyclesFound.Inc()
-			m.emit(trace.KindCycleFound, "det=%s/%d scions=%d",
+			m.emitT(trace.KindCycleFound, tid, "det=%s/%d scions=%d",
 				det.Origin, det.Seq, len(out.GarbageScions))
+			m.emitT(trace.KindDetectionEnd, tid, "det=%s/%d outcome=%s", det.Origin, det.Seq, out.Kind)
 		}
 	}
 	m.flushCDMBatch()
@@ -222,6 +224,8 @@ func (a *detectorActions) SendCDMs(det core.DetectionID, traceID uint64, alongs 
 	}
 	m.stats.CDMMsgsSent += uint64(len(alongs))
 	for _, along := range alongs {
+		m.emitT(trace.KindCDMSent, traceID, "det=%s/%d to=%s along=%s hops=%d",
+			det.Origin, det.Seq, along.Dst.Node, along, hops)
 		m.send(along.Dst.Node, wire.NewCDMFromAlg(det, along, alg, hops, traceID))
 	}
 }

@@ -68,6 +68,14 @@ func (m *Machine) handleBatchCDM(msg *wire.BatchCDM) {
 	if len(msg.Sections) == 0 {
 		return // decoder rejects these; in-process senders never build them
 	}
+	if m.cfg.Trace != nil {
+		if msg.Return {
+			m.emit(trace.KindBatchCDM, "sections=%d hops=%d return received", len(msg.Sections), msg.Hops)
+		} else {
+			m.emit(trace.KindBatchCDM, "from=%s sections=%d hops=%d received",
+				msg.Along.Src, len(msg.Sections), msg.Hops)
+		}
+	}
 	m.beginCDMBatch()
 	for i := range msg.Sections {
 		s := &msg.Sections[i]
@@ -103,7 +111,7 @@ func (m *Machine) raceDropDetection(det core.DetectionID) {
 	m.met.CDMsRaceDropped.Inc()
 	delete(m.cdmAcc, det)
 	m.cdmAborted[det] = struct{}{}
-	m.detectionDone(det)
+	m.detectionDone(det, "race-dropped")
 }
 
 // processCDMSection is the per-detection core of handleCDM/handleBatchCDM:
@@ -158,10 +166,10 @@ func (m *Machine) processCDMSection(det core.DetectionID, traceID uint64, along 
 			m.met.CDMsSent.Add(uint64(out.Forwarded))
 		}
 		if m.cfg.Trace != nil {
-			m.emit(trace.KindCDMHandled, "det=%s/%d along=%s outcome=%s entries=%d",
+			m.emitT(trace.KindCDMHandled, traceID, "det=%s/%d along=%s outcome=%s entries=%d",
 				det.Origin, det.Seq, a, out.Kind, acc.alg.Len())
 			if out.Kind == core.OutcomeCycleFound {
-				m.emit(trace.KindCycleFound, "det=%s/%d scions=%d",
+				m.emitT(trace.KindCycleFound, traceID, "det=%s/%d scions=%d",
 					det.Origin, det.Seq, len(out.GarbageScions))
 			}
 		}
@@ -181,7 +189,7 @@ func (m *Machine) processCDMSection(det core.DetectionID, traceID uint64, along 
 		if out.Kind == core.OutcomeCycleFound || out.Kind == core.OutcomeAborted {
 			// Terminal outcome observed at this node: close the latency
 			// measurement for the detection's causal trace.
-			m.detectionDone(det)
+			m.detectionDone(det, out.Kind.String())
 			terminal = true
 			break
 		}
@@ -194,6 +202,8 @@ func (m *Machine) processCDMSection(det core.DetectionID, traceID uint64, along 
 	if m.cfg.AggregateDetection && !terminal && !forwarded &&
 		det.Origin != m.id && acc.ver > acc.retVer && acc.alg.Len() > 0 {
 		acc.retVer = acc.ver
+		m.emitT(trace.KindPartialReturn, traceID, "det=%s/%d to=%s entries=%d hops=%d",
+			det.Origin, det.Seq, det.Origin, acc.alg.Len(), hops+1)
 		m.batch.addReturn(det, traceID, acc.alg.Clone(), hops+1)
 	}
 }
@@ -240,12 +250,14 @@ func (m *Machine) handleReturnSection(s *wire.BatchSection, hops int) {
 		m.stats.DetectionRelaunches++
 		m.met.DetectionRelaunches.Inc()
 		m.met.CDMsSent.Add(uint64(out.Forwarded))
+		m.emitT(trace.KindRelaunch, s.Trace, "det=%s/%d forwarded=%d entries=%d",
+			det.Origin, det.Seq, out.Forwarded, acc.alg.Len())
 	}
 	if m.cfg.Trace != nil {
-		m.emit(trace.KindCDMHandled, "det=%s/%d along=return outcome=%s entries=%d",
+		m.emitT(trace.KindCDMHandled, s.Trace, "det=%s/%d along=return outcome=%s entries=%d",
 			det.Origin, det.Seq, out.Kind, acc.alg.Len())
 		if out.Kind == core.OutcomeCycleFound {
-			m.emit(trace.KindCycleFound, "det=%s/%d scions=%d",
+			m.emitT(trace.KindCycleFound, s.Trace, "det=%s/%d scions=%d",
 				det.Origin, det.Seq, len(out.GarbageScions))
 		}
 	}
@@ -260,7 +272,7 @@ func (m *Machine) handleReturnSection(s *wire.BatchSection, hops int) {
 		}
 	}
 	if out.Kind == core.OutcomeCycleFound || out.Kind == core.OutcomeAborted {
-		m.detectionDone(det)
+		m.detectionDone(det, out.Kind.String())
 	}
 }
 

@@ -321,6 +321,8 @@ func (m *Machine) flushCDMBatch() {
 		if len(eb.secs) == 1 {
 			s := eb.secs[0]
 			m.stats.CDMMsgsSent++
+			m.emitT(trace.KindCDMSent, s.trace, "det=%s/%d to=%s along=%s hops=%d",
+				s.det.Origin, s.det.Seq, edge.Dst.Node, edge, s.hops)
 			m.send(edge.Dst.Node, wire.NewCDMFromAlg(s.det, edge, s.alg, s.hops, s.trace))
 			continue
 		}
@@ -331,16 +333,21 @@ func (m *Machine) flushCDMBatch() {
 			if s.hops > hops {
 				hops = s.hops
 			}
+			m.emitT(trace.KindCDMSent, s.trace, "det=%s/%d to=%s along=%s hops=%d batched",
+				s.det.Origin, s.det.Seq, edge.Dst.Node, edge, s.hops)
 		}
 		m.stats.CDMMsgsSent++
 		m.stats.BatchCDMsSent++
 		m.stats.BatchSectionsSent += uint64(len(secs))
 		m.met.BatchCDMsSent.Inc()
 		m.met.BatchSections.Observe(float64(len(secs)))
+		m.emit(trace.KindBatchCDM, "to=%s sections=%d hops=%d sent", edge.Dst.Node, len(secs), hops)
 		m.send(edge.Dst.Node, wire.NewBatchCDM(edge, hops, false, secs))
 	}
 	for _, origin := range b.retOrder {
 		m.stats.CDMMsgsSent++
+		m.emit(trace.KindBatchCDM, "to=%s sections=%d hops=%d return sent",
+			origin, len(b.rets[origin]), b.retHops)
 		m.send(origin, wire.NewBatchCDM(ids.RefID{}, b.retHops, true, b.rets[origin]))
 	}
 }
@@ -359,12 +366,16 @@ func (m *Machine) trackDetection(det core.DetectionID, trace uint64) {
 }
 
 // detectionDone observes the detection's latency at this node (first sight
-// to terminal outcome) and stops tracking it.
-func (m *Machine) detectionDone(det core.DetectionID) {
+// to terminal outcome), emits the journal's terminal event, and stops
+// tracking it. outcome names the verdict ("cycle-found", "aborted",
+// "race-dropped") for the detection-end event dgcctl's stream-driven
+// follow terminates on.
+func (m *Machine) detectionDone(det core.DetectionID, outcome string) {
 	inf, ok := m.inflight[det]
 	if !ok {
 		return
 	}
+	m.emitT(trace.KindDetectionEnd, inf.trace, "det=%s/%d outcome=%s", det.Origin, det.Seq, outcome)
 	m.met.DetectionLatency.Observe(time.Since(inf.first).Seconds())
 	delete(m.inflight, det)
 	m.met.DetectionsInflight.Set(int64(len(m.inflight)))
@@ -530,3 +541,16 @@ func (m *Machine) emit(kind trace.Kind, format string, args ...any) {
 		m.cfg.Trace.Emit(m.id, kind, format, args...)
 	}
 }
+
+// emitT records a trace event carrying a detection's causal trace id, the
+// key the timeline assembler merges per-node streams on.
+func (m *Machine) emitT(kind trace.Kind, traceID uint64, format string, args ...any) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.EmitTraced(m.id, kind, traceID, format, args...)
+	}
+}
+
+// Journal returns the machine's event journal (nil when tracing is not
+// configured). The log itself is safe for concurrent use from any
+// goroutine; the config pointer is immutable after construction.
+func (m *Machine) Journal() *trace.Log { return m.cfg.Trace }

@@ -221,6 +221,10 @@ func (n *Node) HandleMessage(from ids.NodeID, msg wire.Message) []transport.Enve
 // ID returns the node identifier.
 func (n *Node) ID() ids.NodeID { return n.mach.ID() }
 
+// Journal returns the node's event journal (nil when tracing is not
+// configured). The journal is concurrent-safe; no lock is needed.
+func (n *Node) Journal() *trace.Log { return n.mach.Journal() }
+
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() Stats {
 	var s Stats

@@ -10,6 +10,7 @@ import (
 	"dgc/internal/ids"
 	"dgc/internal/lgc"
 	"dgc/internal/snapshot"
+	"dgc/internal/trace"
 	"dgc/internal/transport"
 	"dgc/internal/wire"
 )
@@ -181,6 +182,9 @@ func (r *LiveRuntime) handleMessage(from ids.NodeID, msg wire.Message) []transpo
 	case r.mailbox <- rtEvent{from: from, msg: msg}:
 	default:
 		r.mach.met.MailboxDropped.Inc()
+		// The journal is a lock-protected sink and cfg is immutable, so
+		// emitting from the transport's delivery goroutine is safe.
+		r.mach.emit(trace.KindMailboxDrop, "from=%s kind=%s", from, msg.Kind())
 		// A shed message still spends the peer's window: count it consumed
 		// right here (it will never reach the loop), or the edge's window
 		// capacity would leak away drop by drop until it wedged shut.
@@ -341,6 +345,8 @@ func (r *LiveRuntime) flush() {
 		if len(e.pending) > 0 || e.inflight() >= uint64(r.rcfg.CreditWindow) {
 			e.pending = append(e.pending, o.Msg)
 			r.mach.met.CreditStalls.Inc()
+			r.mach.emit(trace.KindCreditStall, "to=%s kind=%s pending=%d",
+				o.To, o.Msg.Kind(), len(e.pending))
 			continue
 		}
 		e.sent++
@@ -430,6 +436,11 @@ func (r *LiveRuntime) Close() error {
 	})
 	return nil
 }
+
+// Journal returns the node's event journal (nil when tracing is not
+// configured). Safe from any goroutine, even after Close: the journal is
+// shared, concurrent-safe state, not loop-owned.
+func (r *LiveRuntime) Journal() *trace.Log { return r.mach.Journal() }
 
 // DroppedInbound reports transport deliveries discarded on mailbox
 // overflow since the runtime started. It reads the
