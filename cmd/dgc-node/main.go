@@ -57,10 +57,12 @@ func main() {
 		statsEvery    = flag.Int("stats-every", 10, "print stats every N ticks (0 = never)")
 		broadcastDel  = flag.Bool("broadcast-delete", false, "broadcast scion deletion on cycle found")
 		batchDetect   = flag.Bool("batch-detect", true, "batch multi-candidate detection traffic into BatchCDMs (-batch-detect=false for the unbatched reference path)")
+		membershipOn  = flag.Bool("membership", true, "gossip membership directory with lease-guarded dead-node reclamation (-membership=false for a static cluster)")
 		aggDetect     = flag.Bool("aggregate-detect", false, "hierarchical aggregation: partial matches return to the detection origin (implies -batch-detect)")
 		callTimeoutTk = flag.Uint64("call-timeout", 40, "RPC timeout in ticks")
 		stateFile     = flag.String("state-file", "", "persist collector state here: loaded at startup if present, saved on shutdown")
 		metricsAddr   = flag.String("metrics-addr", "", "serve the admin API (Prometheus /metrics, /debug/dgc, /api/v1) on this address")
+		adminToken    = flag.String("admin-token", os.Getenv("DGC_ADMIN_TOKEN"), "bearer token required on /api/v1 and /debug routes (default $DGC_ADMIN_TOKEN; empty = open)")
 		pprofMode     = flag.String("pprof", "auto", "serve /debug/pprof on the admin address: on, off, or auto (loopback only)")
 	)
 	flag.Parse()
@@ -91,8 +93,11 @@ func main() {
 		SnapshotDir:      *snapshotDir,
 	}
 	spec.Config.Detector.BroadcastDelete = *broadcastDel
-	spec.Config.BatchDetection = *batchDetect || *aggDetect
+	spec.Config.BatchDetection = dgc.Bool(*batchDetect || *aggDetect)
 	spec.Config.AggregateDetection = *aggDetect
+	if *membershipOn {
+		spec.Config.Membership = &dgc.MembershipConfig{}
+	}
 	switch *codecName {
 	case "":
 	case "binary":
@@ -138,6 +143,7 @@ func main() {
 			log.Fatalf("dgc-node: metrics listen %s: %v", *metricsAddr, err)
 		}
 		srv := admin.NewServer(sup.Metrics())
+		srv.SetToken(*adminToken)
 		if admin.PprofEnabled(*pprofMode, *metricsAddr) {
 			srv.EnablePprof()
 			fmt.Printf("pprof profiles on http://%s/debug/pprof/\n", ln.Addr())

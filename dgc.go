@@ -37,6 +37,7 @@ import (
 	"dgc/internal/cluster"
 	"dgc/internal/core"
 	"dgc/internal/ids"
+	"dgc/internal/membership"
 	"dgc/internal/node"
 	"dgc/internal/obs"
 	"dgc/internal/snapshot"
@@ -89,6 +90,31 @@ type (
 
 // ErrRuntimeClosed is returned by LiveRuntime entry points after Close.
 var ErrRuntimeClosed = node.ErrRuntimeClosed
+
+// Bool returns a pointer to v, for Config's tri-state fields
+// (e.g. BatchDetection, where nil means the default, on).
+func Bool(v bool) *bool { return node.Bool(v) }
+
+// Cluster membership types: configure Config.Membership to enable the
+// elastic gossip directory with lease-guarded dead-node reclamation
+// (see internal/membership and DESIGN.md §14).
+type (
+	// MembershipConfig tunes the gossip directory and failure detector.
+	MembershipConfig = membership.Config
+	// Member is one membership directory record.
+	Member = membership.Member
+	// MemberState is a member's lifecycle position.
+	MemberState = membership.State
+)
+
+// Membership lifecycle states.
+const (
+	MemberJoining  = membership.Joining
+	MemberAlive    = membership.Alive
+	MemberSuspect  = membership.Suspect
+	MemberDraining = membership.Draining
+	MemberDead     = membership.Dead
+)
 
 // Cluster-level types.
 type (

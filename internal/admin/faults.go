@@ -154,6 +154,16 @@ func (e *FaultEndpoint) deliver(from ids.NodeID, msg wire.Message) []transport.E
 	return h(from, msg)
 }
 
+// AddPeer forwards a peer dial-address registration to the inner endpoint
+// when it supports one (the TCP transport does). This is the path
+// gossip-learned addresses take from the runtime through the fault layer to
+// the socket's dial table.
+func (e *FaultEndpoint) AddPeer(peer ids.NodeID, addr string) {
+	if ap, ok := e.innerEP().(interface{ AddPeer(ids.NodeID, string) }); ok {
+		ap.AddPeer(peer, addr)
+	}
+}
+
 // Close implements transport.Endpoint.
 func (e *FaultEndpoint) Close() error {
 	if in := e.innerEP(); in != nil {

@@ -1,6 +1,7 @@
 package admin
 
 import (
+	"crypto/subtle"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -15,6 +16,7 @@ import (
 
 	"dgc/internal/ids"
 	"dgc/internal/lgc"
+	"dgc/internal/membership"
 	"dgc/internal/node"
 	"dgc/internal/obs"
 	"dgc/internal/trace"
@@ -70,6 +72,24 @@ type LGCRunner interface {
 	RunLGC() lgc.Result
 }
 
+// MemberLister optionally exposes the node's view of the elastic membership
+// directory (nil when Config.Membership is off).
+type MemberLister interface {
+	Members() []membership.Member
+}
+
+// Joiner optionally supports seeding a new cluster member into the node's
+// directory and transport dial table.
+type Joiner interface {
+	Join(peer ids.NodeID, addr string) error
+}
+
+// Drainer optionally supports voluntary departure: the node migrates its
+// exported references before declaring itself dead.
+type Drainer interface {
+	Drain() error
+}
+
 // Server is the unified admin control plane: one HTTP surface per process
 // exposing every hosted node's status, tables, in-flight detections, forced
 // actions, snapshots and fault injection as a versioned JSON API. It replaces
@@ -79,11 +99,19 @@ type Server struct {
 	set   *obs.Set
 	build BuildInfo
 	pprof bool
+	token string
 
 	mu    sync.Mutex
 	nodes map[string]Handle
 	order []string
 }
+
+// SetToken enables bearer-token authentication: every /api/v1/* and /debug/*
+// request must carry "Authorization: Bearer <token>" or is answered 401.
+// /metrics stays open — Prometheus scrape configs rarely send auth headers
+// and the exposition carries no mutating capability. An empty token leaves
+// the API open. Call before Handler.
+func (s *Server) SetToken(token string) { s.token = token }
 
 // EnablePprof makes Handler also serve the net/http/pprof profiles at
 // /debug/pprof/. Call before Handler; see PprofEnabled for the flag policy.
@@ -262,6 +290,42 @@ type InjectRequest struct {
 	Recover string `json:"recover,omitempty"`
 }
 
+// MemberInfo is one directory record in the /api/v1/members payload.
+type MemberInfo struct {
+	Node        string `json:"node"`
+	Addr        string `json:"addr,omitempty"`
+	State       string `json:"state"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// MembersReply is the /api/v1/members payload: each hosted node's view of the
+// membership directory. Views can disagree transiently — that divergence is
+// exactly what the endpoint exists to observe.
+type MembersReply struct {
+	SchemaVersion int                     `json:"schema_version"`
+	Nodes         map[string][]MemberInfo `json:"nodes"`
+}
+
+// JoinRequest is the /api/v1/join body: the new member's name and transport
+// dial address, seeded into every hosted node's directory.
+type JoinRequest struct {
+	Node string `json:"node"`
+	Addr string `json:"addr"`
+}
+
+func memberInfos(ms []membership.Member) []MemberInfo {
+	out := make([]MemberInfo, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, MemberInfo{
+			Node:        string(m.Node),
+			Addr:        m.Addr,
+			State:       m.State.String(),
+			Incarnation: m.Incarnation,
+		})
+	}
+	return out
+}
+
 // Handler returns the admin API:
 //
 //	GET  /metrics             Prometheus text exposition
@@ -269,7 +333,10 @@ type InjectRequest struct {
 //	GET  /api/v1/status       cluster status: build, per-node state/counters
 //	GET  /api/v1/tables       one node's scion/stub tables (?node=)
 //	GET  /api/v1/detections   in-flight detections with trace ids
+//	GET  /api/v1/members      per-node membership directory views
 //	GET  /api/v1/events       journal event stream, NDJSON (?since=&kind=&trace=&follow=)
+//	POST /api/v1/join         seed a new member {node, addr} into every hosted node
+//	POST /api/v1/drain        start one node's voluntary departure (?node=)
 //	POST /api/v1/detect       force detection round, or one scion (&scion=)
 //	POST /api/v1/lgc          force a local collection
 //	POST /api/v1/summarize    force a summary rebuild
@@ -278,6 +345,8 @@ type InjectRequest struct {
 //	POST /api/v1/inject       fault injection (kill/restart/delay/drop/partition/heal)
 //
 // Every JSON payload carries schema_version. Errors are {"error": "..."}.
+// With SetToken, /api/v1/* and /debug/* require a bearer token; /metrics
+// stays open.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	if s.pprof {
@@ -436,7 +505,110 @@ func (s *Server) Handler() http.Handler {
 	}))
 	mux.HandleFunc("/api/v1/events", s.handleEvents)
 	mux.HandleFunc("/api/v1/inject", s.post(s.handleInject))
-	return mux
+	mux.HandleFunc("/api/v1/members", s.handleMembers)
+	mux.HandleFunc("/api/v1/join", s.post(s.handleJoin))
+	mux.HandleFunc("/api/v1/drain", s.post(s.handleDrain))
+	if s.token == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.authorized(r) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="dgc-admin"`)
+			writeErr(w, http.StatusUnauthorized, errors.New("missing or invalid bearer token"))
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// authorized checks the request's bearer token against the configured one.
+// Only /api/v1/* and /debug/* are gated; everything else (i.e. /metrics)
+// passes.
+func (s *Server) authorized(r *http.Request) bool {
+	p := r.URL.Path
+	if !strings.HasPrefix(p, "/api/v1/") && !strings.HasPrefix(p, "/debug/") {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(s.token)) == 1
+}
+
+func (s *Server) handleMembers(w http.ResponseWriter, r *http.Request) {
+	reply := MembersReply{SchemaVersion: SchemaVersion, Nodes: make(map[string][]MemberInfo)}
+	for _, h := range s.handles() {
+		ml, ok := h.(MemberLister)
+		if !ok {
+			continue
+		}
+		if ms := ml.Members(); ms != nil {
+			reply.Nodes[string(h.ID())] = memberInfos(ms)
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad join body: %w", err))
+		return
+	}
+	if req.Node == "" || req.Addr == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("join needs node and addr"))
+		return
+	}
+	// Seed the newcomer into every hosted node; gossip spreads it from there.
+	seeded := make([]string, 0, 4)
+	var firstErr error
+	for _, h := range s.handles() {
+		j, ok := h.(Joiner)
+		if !ok {
+			continue
+		}
+		if err := j.Join(ids.NodeID(req.Node), req.Addr); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", h.ID(), err)
+			}
+			continue
+		}
+		seeded = append(seeded, string(h.ID()))
+	}
+	if len(seeded) == 0 {
+		if firstErr != nil {
+			writeErr(w, http.StatusConflict, firstErr)
+		} else {
+			writeErr(w, http.StatusNotImplemented, errors.New("no hosted node supports membership join"))
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		SchemaVersion int      `json:"schema_version"`
+		Node          string   `json:"node"`
+		Addr          string   `json:"addr"`
+		SeededInto    []string `json:"seeded_into"`
+	}{SchemaVersion, req.Node, req.Addr, seeded})
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	h, err := s.pick(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	d, ok := h.(Drainer)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, errors.New("node does not support drain"))
+		return
+	}
+	if err := d.Drain(); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		SchemaVersion int    `json:"schema_version"`
+		Node          string `json:"node"`
+		Draining      bool   `json:"draining"`
+	}{SchemaVersion, string(h.ID()), true})
 }
 
 func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"dgc/internal/ids"
+	"dgc/internal/membership"
+	"dgc/internal/node"
 	"dgc/internal/snapshot"
 )
 
@@ -52,6 +54,14 @@ type NodeSettings struct {
 	CallTimeout     *uint64
 	BatchDetect     *bool
 	AggregateDetect *bool
+	// Membership gates the elastic cluster directory (default on for live
+	// clusters); the tick-denominated tuning knobs below inherit the
+	// membership package defaults when unset.
+	Membership      *bool
+	GossipEvery     *uint64
+	SuspectAfter    *uint64
+	DeadAfter       *uint64
+	LeaseTicks      *uint64
 	BroadcastDelete *bool
 	Backpressure    *bool
 	CreditWindow    *int
@@ -88,6 +98,21 @@ func (s NodeSettings) merge(base NodeSettings) NodeSettings {
 	}
 	if s.AggregateDetect == nil {
 		s.AggregateDetect = base.AggregateDetect
+	}
+	if s.Membership == nil {
+		s.Membership = base.Membership
+	}
+	if s.GossipEvery == nil {
+		s.GossipEvery = base.GossipEvery
+	}
+	if s.SuspectAfter == nil {
+		s.SuspectAfter = base.SuspectAfter
+	}
+	if s.DeadAfter == nil {
+		s.DeadAfter = base.DeadAfter
+	}
+	if s.LeaseTicks == nil {
+		s.LeaseTicks = base.LeaseTicks
 	}
 	if s.BroadcastDelete == nil {
 		s.BroadcastDelete = base.BroadcastDelete
@@ -166,10 +191,18 @@ func (c *ClusterSpec) Resolve() ([]NodeSpec, error) {
 		}
 		spec.Config.CandidateMinAge = every(st.CandidateAge, 4)
 		spec.Config.CallTimeoutTicks = every(st.CallTimeout, 40)
-		spec.Config.BatchDetection = st.BatchDetect == nil || *st.BatchDetect
+		spec.Config.BatchDetection = node.Bool(st.BatchDetect == nil || *st.BatchDetect)
 		if st.AggregateDetect != nil && *st.AggregateDetect {
 			spec.Config.AggregateDetection = true
-			spec.Config.BatchDetection = true
+			spec.Config.BatchDetection = node.Bool(true)
+		}
+		if st.Membership == nil || *st.Membership {
+			spec.Config.Membership = &membership.Config{
+				GossipEvery:  every(st.GossipEvery, 0),
+				SuspectAfter: every(st.SuspectAfter, 0),
+				DeadAfter:    every(st.DeadAfter, 0),
+				LeaseTicks:   every(st.LeaseTicks, 0),
+			}
 		}
 		if st.BroadcastDelete != nil {
 			spec.Config.Detector.BroadcastDelete = *st.BroadcastDelete
@@ -420,6 +453,16 @@ func settingsFrom(m map[string]string, where string) (NodeSettings, []string, er
 			s.BatchDetect, err = parseBool(v)
 		case "aggregate_detect":
 			s.AggregateDetect, err = parseBool(v)
+		case "membership":
+			s.Membership, err = parseBool(v)
+		case "gossip_every":
+			s.GossipEvery, err = parseU64(v)
+		case "suspect_after":
+			s.SuspectAfter, err = parseU64(v)
+		case "dead_after":
+			s.DeadAfter, err = parseU64(v)
+		case "lease_ticks":
+			s.LeaseTicks, err = parseU64(v)
 		case "broadcast_delete":
 			s.BroadcastDelete, err = parseBool(v)
 		case "backpressure":

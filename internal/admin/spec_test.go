@@ -63,10 +63,10 @@ func TestParseClusterSpecYAML(t *testing.T) {
 	}
 	// Batched detection defaults ON for declarative clusters; the per-node
 	// escape hatch turns it off.
-	if !a.Config.BatchDetection {
+	if a.Config.BatchDetection == nil || !*a.Config.BatchDetection {
 		t.Error("A batch detection should default on")
 	}
-	if b.Config.BatchDetection {
+	if b.Config.BatchDetection == nil || *b.Config.BatchDetection {
 		t.Error("B batch detection should honor the escape hatch")
 	}
 	if a.StateFile != "/tmp/dgc-states/A.state" {
@@ -97,7 +97,7 @@ func TestParseClusterSpecJSON(t *testing.T) {
 	if specs[0].Runtime.Tick != 25*time.Millisecond {
 		t.Errorf("X tick = %v", specs[0].Runtime.Tick)
 	}
-	if specs[0].Config.BatchDetection {
+	if specs[0].Config.BatchDetection == nil || *specs[0].Config.BatchDetection {
 		t.Error("X batch detection should be off (cluster default false)")
 	}
 	if specs[0].SeedObjects != 2 || specs[1].SeedObjects != 0 {

@@ -9,6 +9,7 @@ import (
 
 	"dgc/internal/ids"
 	"dgc/internal/lgc"
+	"dgc/internal/membership"
 	"dgc/internal/node"
 	"dgc/internal/obs"
 	"dgc/internal/trace"
@@ -150,6 +151,22 @@ func (s *Supervisor) startLocked(state []byte) error {
 			}
 		}
 	}
+	// With the elastic directory on, the node advertises its concrete bound
+	// address and seeds the static peer list as joining members — they flip
+	// to alive on first traffic, so a half-started cluster is visibly
+	// "joining" until gossip has actually flowed. Membership state is
+	// volatile by design: a restart re-seeds and re-learns.
+	if s.spec.Config.Membership != nil {
+		rt.SetAdvertiseAddr(ep.Addr())
+		peers := make([]ids.NodeID, 0, len(s.spec.Peers))
+		for p := range s.spec.Peers {
+			peers = append(peers, p)
+		}
+		ids.SortNodeIDs(peers)
+		for _, p := range peers {
+			_ = rt.AddMember(p, s.spec.Peers[p])
+		}
+	}
 	s.ep, s.rt = ep, rt
 	s.addr = ep.Addr()
 	s.lastState = state
@@ -177,16 +194,21 @@ func (s *Supervisor) State() string {
 }
 
 // AddPeer registers or updates a peer's transport dial address (on the
-// current endpoint and in the spec, so restarts keep it).
+// current endpoint and in the spec, so restarts keep it). With membership on
+// the peer is also seeded into the directory as joining.
 func (s *Supervisor) AddPeer(peer ids.NodeID, addr string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.spec.Peers == nil {
 		s.spec.Peers = make(map[ids.NodeID]string)
 	}
 	s.spec.Peers[peer] = addr
 	if s.ep != nil {
 		s.ep.AddPeer(peer, addr)
+	}
+	rt := s.rt
+	s.mu.Unlock()
+	if rt != nil && s.spec.Config.Membership != nil {
+		_ = rt.AddMember(peer, addr)
 	}
 }
 
@@ -391,6 +413,39 @@ func (s *Supervisor) ForceDetect(candidate ids.RefID) (node.ForceDetectResult, e
 		return rt.ForceDetect(candidate)
 	}
 	return node.ForceDetectResult{}, ErrNodeDown
+}
+
+// Members returns the node's membership directory view (nil while down or
+// when membership is disabled).
+func (s *Supervisor) Members() []membership.Member {
+	if rt := s.Runtime(); rt != nil {
+		return rt.Members()
+	}
+	return nil
+}
+
+// Join seeds a new cluster member: the dial address lands in the spec and
+// endpoint (surviving restarts) and the directory records the peer as
+// joining, from where gossip takes over.
+func (s *Supervisor) Join(peer ids.NodeID, addr string) error {
+	if s.spec.Config.Membership == nil {
+		return errors.New("admin: membership is disabled on this node")
+	}
+	if s.Runtime() == nil {
+		return ErrNodeDown
+	}
+	s.AddPeer(peer, addr)
+	return nil
+}
+
+// Drain starts the node's voluntary departure: exported references migrate
+// to their referents' owners, then the node declares itself dead.
+func (s *Supervisor) Drain() error {
+	rt := s.Runtime()
+	if rt == nil {
+		return ErrNodeDown
+	}
+	return rt.BeginDrain()
 }
 
 // Save serializes the node's durable collector state.

@@ -25,7 +25,14 @@ Commands:
   trace      reconstruct one detection's causal span tree across nodes
   inject     fault injection: kill, restart, delay, drop, partition, heal
   snapshot   save (or -restore) a node's durable collector state
+  members    per-node views of the gossip membership directory
+  join       seed a new member (name=addr) into every running node
+  drain      migrate a node's exported references, then retire it
   up         start a local TCP cluster from a declarative spec file
+
+Auth:
+  Servers started with -admin-token (or $DGC_ADMIN_TOKEN) require a bearer
+  token: pass -token, or set DGC_ADMIN_TOKEN for dgcctl too.
 
 Endpoints:
   Commands find admin endpoints via -e (comma-separated [name=]host:port),
@@ -65,6 +72,12 @@ func RunContext(ctx context.Context, args []string, stdout, stderr io.Writer) in
 		return cmdInject(rest, stdout, stderr)
 	case "snapshot":
 		return cmdSnapshot(rest, stdout, stderr)
+	case "members":
+		return cmdMembers(rest, stdout, stderr)
+	case "join":
+		return cmdJoin(rest, stdout, stderr)
+	case "drain":
+		return cmdDrain(rest, stdout, stderr)
 	case "up":
 		return cmdUp(ctx, rest, stdout, stderr)
 	case "help", "-h", "--help", "-help":

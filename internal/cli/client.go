@@ -28,16 +28,18 @@ type Endpoint struct {
 	Addr string // host:port of the admin HTTP listener
 }
 
-// endpointFlags are the shared -e / -endpoints-file pair every command
-// registers.
+// endpointFlags are the shared -e / -endpoints-file / -token set every
+// command registers.
 type endpointFlags struct {
-	list string
-	file string
+	list  string
+	file  string
+	token string
 }
 
 func (ef *endpointFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&ef.list, "e", "", "admin endpoints, comma-separated [name=]host:port (overrides the endpoints file)")
 	fs.StringVar(&ef.file, "endpoints-file", "", "endpoints file written by 'dgcctl up' (default $DGCCTL_ENDPOINTS or dgcctl.endpoints)")
+	fs.StringVar(&ef.token, "token", os.Getenv("DGC_ADMIN_TOKEN"), "bearer token for servers started with -admin-token (default $DGC_ADMIN_TOKEN)")
 }
 
 // resolve returns the endpoint list: -e beats DGCCTL_ENDPOINTS beats the
@@ -114,8 +116,9 @@ func parseEndpointsFile(data []byte) ([]Endpoint, error) {
 
 // Client talks to one admin server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	token string // bearer token sent on every request when non-empty
+	hc    *http.Client
 	// sc serves the long-lived /api/v1/events streams: no overall timeout
 	// (the server bounds stream duration), cancellation via context.
 	sc *http.Client
@@ -130,8 +133,23 @@ func NewClient(addr string) *Client {
 	}
 }
 
+// SetToken makes every request carry "Authorization: Bearer <token>", for
+// servers started with an admin token.
+func (c *Client) SetToken(token string) { c.token = token }
+
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+}
+
 func (c *Client) get(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	c.authorize(req)
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -139,7 +157,13 @@ func (c *Client) get(path string, out any) error {
 }
 
 func (c *Client) post(path string, body []byte, out any) error {
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.authorize(req)
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -237,6 +261,30 @@ func (c *Client) Restore(nodeID, stateB64 string) error {
 	return c.post("/api/v1/restore?node="+nodeID, []byte(stateB64), nil)
 }
 
+// Members fetches the per-node membership directory views.
+func (c *Client) Members() (*admin.MembersReply, error) {
+	var reply admin.MembersReply
+	if err := c.get("/api/v1/members", &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Join seeds a new member (name + transport dial address) into every node
+// this server hosts.
+func (c *Client) Join(nodeID, addr string) error {
+	body, err := json.Marshal(admin.JoinRequest{Node: nodeID, Addr: addr})
+	if err != nil {
+		return err
+	}
+	return c.post("/api/v1/join", body, nil)
+}
+
+// Drain starts nodeID's voluntary departure.
+func (c *Client) Drain(nodeID string) error {
+	return c.post("/api/v1/drain?node="+nodeID, nil, nil)
+}
+
 // EventStreamOptions selects the /api/v1/events slice to stream.
 type EventStreamOptions struct {
 	Node    string        // ?node= (optional; servers default to their first journaled node)
@@ -280,6 +328,7 @@ func (c *Client) StreamEvents(ctx context.Context, opts EventStreamOptions, fn f
 	if err != nil {
 		return 0, err
 	}
+	c.authorize(req)
 	resp, err := c.sc.Do(req)
 	if err != nil {
 		return 0, err
@@ -330,6 +379,7 @@ func (c *Client) JournalHead(ctx context.Context, nodeID string) (uint64, error)
 // the node -> client mapping discovered from live status.
 type fleet struct {
 	eps     []Endpoint
+	token   string
 	clients map[string]*Client // node id -> client, filled by refresh
 	status  map[string]admin.NodeStatus
 	build   admin.BuildInfo
@@ -340,7 +390,7 @@ func newFleet(ef *endpointFlags) (*fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &fleet{eps: eps}, nil
+	return &fleet{eps: eps, token: ef.token}, nil
 }
 
 // refresh queries status from every endpoint, building the merged per-node
@@ -354,6 +404,7 @@ func (f *fleet) refresh() error {
 	reached := 0
 	for _, ep := range f.eps {
 		c := NewClient(ep.Addr)
+		c.SetToken(f.token)
 		reply, err := c.Status()
 		if err != nil {
 			if firstErr == nil {

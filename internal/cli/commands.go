@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -162,6 +163,11 @@ func cmdDetect(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	// the follow stream replays exactly the events this command caused.
 	baselines := make(map[*Client]uint64)
 	if *follow {
+		// A node that hasn't completed its first gossip exchange can't
+		// route detections reliably; fail fast instead of timing out.
+		if err := checkMembersReady(f); err != nil {
+			return fail(stderr, err)
+		}
 		for _, sv := range f.servers() {
 			head, err := sv.c.JournalHead(ctx, "")
 			if err != nil {
@@ -308,6 +314,149 @@ func followDetections(ctx context.Context, f *fleet, traceID string, baselines m
 		fmt.Fprintln(stdout)
 		return 0
 	}
+}
+
+func cmdMembers(args []string, stdout, stderr io.Writer) int {
+	fs, ef := newFlagSet("members", stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := f.refresh(); err != nil {
+		return fail(stderr, err)
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "VIEW\tMEMBER\tSTATE\tINC\tADDR")
+	views := 0
+	for _, sv := range f.servers() {
+		reply, err := sv.c.Members()
+		if err != nil {
+			fmt.Fprintf(stderr, "dgcctl: %s: %v\n", sv.nodes[0], err)
+			continue
+		}
+		viewers := make([]string, 0, len(reply.Nodes))
+		for id := range reply.Nodes {
+			viewers = append(viewers, id)
+		}
+		sort.Strings(viewers)
+		for _, viewer := range viewers {
+			views++
+			for _, m := range reply.Nodes[viewer] {
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\n", viewer, m.Node, m.State, m.Incarnation, m.Addr)
+			}
+		}
+	}
+	tw.Flush()
+	if views == 0 {
+		fmt.Fprintln(stdout, "no membership directories (cluster running with membership off?)")
+	}
+	return 0
+}
+
+func cmdJoin(args []string, stdout, stderr io.Writer) int {
+	fs, ef := newFlagSet("join", stderr)
+	name := fs.String("node", "", "new member's node id (or pass 'name=addr' positionally)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	id, addr := *name, ""
+	switch fs.NArg() {
+	case 1:
+		arg := fs.Arg(0)
+		if n, a, ok := strings.Cut(arg, "="); ok {
+			id, addr = n, a
+		} else {
+			addr = arg
+		}
+	default:
+		fmt.Fprintln(stderr, "usage: dgcctl join [-node NAME] <name=addr | addr>")
+		return 2
+	}
+	if id == "" || addr == "" {
+		return fail(stderr, fmt.Errorf("join needs the new member's name and transport address (name=addr)"))
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := f.refresh(); err != nil {
+		return fail(stderr, err)
+	}
+	// Seed the newcomer into every admin server: each hosted node records it
+	// as joining and starts gossiping with it; the newcomer learns the rest
+	// of the directory from the gossip it receives back.
+	seeded := 0
+	for _, sv := range f.servers() {
+		if err := sv.c.Join(id, addr); err != nil {
+			fmt.Fprintf(stderr, "dgcctl: %s: %v\n", sv.nodes[0], err)
+			continue
+		}
+		seeded++
+	}
+	if seeded == 0 {
+		return fail(stderr, fmt.Errorf("no server accepted the join"))
+	}
+	fmt.Fprintf(stdout, "member %s (%s) seeded into %d servers; gossip completes the join\n", id, addr, seeded)
+	return 0
+}
+
+func cmdDrain(args []string, stdout, stderr io.Writer) int {
+	fs, ef := newFlagSet("drain", stderr)
+	nodeID := fs.String("node", "", "node to drain (or pass it positionally)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	id := *nodeID
+	if fs.NArg() == 1 {
+		id = fs.Arg(0)
+	} else if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "usage: dgcctl drain <node>")
+		return 2
+	}
+	f, err := newFleet(ef)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := f.refresh(); err != nil {
+		return fail(stderr, err)
+	}
+	if id == "" {
+		if id, err = f.one(); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	c, err := f.client(id)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := c.Drain(id); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "%s: draining (references migrating; the node declares itself dead when done)\n", id)
+	return 0
+}
+
+// checkMembersReady fails fast when any hosted node still sees itself as
+// "joining" — gossip hasn't completed, so a detection launched now would
+// stall rather than converge. Servers without membership pass vacuously.
+func checkMembersReady(f *fleet) error {
+	for _, sv := range f.servers() {
+		reply, err := sv.c.Members()
+		if err != nil {
+			continue // pre-membership server: nothing to check
+		}
+		for _, viewer := range sv.nodes {
+			for _, m := range reply.Nodes[viewer] {
+				if m.Node == viewer && m.State == "joining" {
+					return fmt.Errorf("node %s is still joining (no gossip exchanged yet) — wait for 'dgcctl members' to show it alive", viewer)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 func cmdInject(args []string, stdout, stderr io.Writer) int {

@@ -25,6 +25,7 @@ func cmdUp(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	specFile := fs.String("f", "", "cluster spec file, YAML subset or JSON (required)")
 	endpointsOut := fs.String("endpoints-file", "dgcctl.endpoints", "write 'name addr' admin endpoints here for other dgcctl commands")
+	adminToken := fs.String("admin-token", os.Getenv("DGC_ADMIN_TOKEN"), "require this bearer token on every admin API (default $DGC_ADMIN_TOKEN; empty = open)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,7 +44,7 @@ func cmdUp(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	for _, w := range spec.Warnings {
 		fmt.Fprintf(stderr, "dgcctl up: warning: %s\n", w)
 	}
-	cl, err := startCluster(spec, stdout, stderr)
+	cl, err := startCluster(spec, *adminToken, stdout, stderr)
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -77,7 +78,7 @@ type liveCluster struct {
 // startCluster resolves the spec, starts every node, wires the peer mesh
 // once the ephemeral transport ports are known, serves one admin API per
 // node, and seeds the demo ring when requested.
-func startCluster(spec *admin.ClusterSpec, stdout, stderr io.Writer) (*liveCluster, error) {
+func startCluster(spec *admin.ClusterSpec, adminToken string, stdout, stderr io.Writer) (*liveCluster, error) {
 	specs, err := spec.Resolve()
 	if err != nil {
 		return nil, err
@@ -113,6 +114,7 @@ func startCluster(spec *admin.ClusterSpec, stdout, stderr io.Writer) (*liveClust
 			return failure(fmt.Errorf("admin listen %s for %s: %w", adminAddr, sup.ID(), err))
 		}
 		srv := admin.NewServer(sup.Metrics())
+		srv.SetToken(adminToken)
 		srv.AddNode(sup)
 		hs := &http.Server{Handler: srv.Handler()}
 		go func() { _ = hs.Serve(ln) }()

@@ -16,9 +16,9 @@ func modeConfig(mode string) node.Config {
 	var cfg node.Config
 	switch mode {
 	case "batched":
-		cfg.BatchDetection = true
+		cfg.BatchDetection = node.Bool(true)
 	case "aggregate":
-		cfg.BatchDetection = true
+		cfg.BatchDetection = node.Bool(true)
 		cfg.AggregateDetection = true
 	}
 	return cfg

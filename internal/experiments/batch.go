@@ -34,10 +34,12 @@ func batchModeConfig(mode string) node.Config {
 	var cfg node.Config
 	switch mode {
 	case "batched":
-		cfg.BatchDetection = true
+		cfg.BatchDetection = node.Bool(true)
 	case "batched+agg":
-		cfg.BatchDetection = true
+		cfg.BatchDetection = node.Bool(true)
 		cfg.AggregateDetection = true
+	default:
+		cfg.BatchDetection = node.Bool(false)
 	}
 	return cfg
 }

@@ -41,6 +41,7 @@ func (m *Machine) Tick() {
 func (m *Machine) AdvanceClock() {
 	m.clock++
 	m.expireCalls()
+	m.membTick()
 	// Periodically age out tracked detections that never reached a terminal
 	// outcome here (e.g. the origin of a detection that ended elsewhere).
 	if m.clock%64 == 0 && len(m.inflight) > 0 {
@@ -161,7 +162,23 @@ func (m *Machine) RunDetection() int {
 	if m.summary == nil {
 		return 0
 	}
+	if m.memb != nil && m.memb.Draining() {
+		// A departing node starts no new detections; its handoffs and the
+		// survivors' relaunches cover its candidates.
+		return 0
+	}
 	cands := m.selector.Candidates(m.summary, m.clock)
+	if m.memb != nil {
+		// Scions held by dead members are waiting on lease reclamation, not
+		// cycle detection; launching from them would only abort.
+		live := cands[:0]
+		for _, c := range cands {
+			if !m.memb.IsDead(c.Src) {
+				live = append(live, c)
+			}
+		}
+		cands = live
+	}
 	if m.cfg.MaxDetectionsPerRound > 0 && len(cands) > m.cfg.MaxDetectionsPerRound {
 		// Rotate through the candidate list across rounds so a bounded
 		// budget still eventually tries every candidate (completeness: a
@@ -218,9 +235,23 @@ func (a *detectorActions) SendCDMs(det core.DetectionID, traceID uint64, alongs 
 	m := (*Machine)(a)
 	if m.batch != nil {
 		// Batched mode: park the fan-out per edge; flushCDMBatch groups
-		// every detection exiting via the same reference into one message.
+		// every detection exiting via the same reference into one message
+		// (and strips edges through dead members there).
 		m.batch.add(det, traceID, alongs, alg, hops)
 		return
+	}
+	if m.memb != nil {
+		live := make([]ids.RefID, 0, len(alongs))
+		for _, along := range alongs {
+			if !m.memberDeadEdge(along) {
+				live = append(live, along)
+			}
+		}
+		if len(live) == 0 && len(alongs) > 0 {
+			m.abortDetectionMemberDead(det, traceID)
+			return
+		}
+		alongs = live
 	}
 	m.stats.CDMMsgsSent += uint64(len(alongs))
 	for _, along := range alongs {

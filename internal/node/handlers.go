@@ -14,6 +14,7 @@ import (
 // triggers (CDM fan-out, acks, replies) accumulate as effects for the
 // driver to transmit.
 func (m *Machine) HandleMessage(from ids.NodeID, msg wire.Message) {
+	m.observeMember(from)
 	switch msg := msg.(type) {
 	case *wire.InvokeRequest:
 		m.handleInvokeRequest(msg)
@@ -31,10 +32,13 @@ func (m *Machine) HandleMessage(from ids.NodeID, msg wire.Message) {
 		m.handleBatchCDM(msg)
 	case *wire.DeleteScion:
 		m.detector.HandleDeleteScion(msg.Ref)
+	case *wire.Gossip:
+		m.handleGossip(from, msg)
+	case *wire.LeaseHandoff:
+		m.handleLeaseHandoff(msg)
 	default:
 		// Baseline traffic and future kinds are not for this handler.
 	}
-	_ = from // sender identity travels inside each message
 }
 
 // handleCDM merges an arriving cycle detection message into the machine's

@@ -9,6 +9,7 @@ import (
 	"dgc/internal/heap"
 	"dgc/internal/ids"
 	"dgc/internal/lgc"
+	"dgc/internal/membership"
 	"dgc/internal/obs"
 	"dgc/internal/refs"
 	"dgc/internal/snapshot"
@@ -80,6 +81,16 @@ type Machine struct {
 	// per-detection messages. Bracketed by beginCDMBatch/flushCDMBatch
 	// around every input that can produce detection traffic.
 	batch *cdmBatcher
+
+	// memb/leases are the elastic-membership state: the gossip directory and
+	// the per-holder lease table guarding scion reclamation. Both nil when
+	// Config.Membership is nil (the simulator's static-directory mode), and
+	// every membership code path guards on that. membGossiped records, per
+	// peer, the directory version last pushed to it, so piggybacked gossip
+	// only rides along when the peer's view may be stale.
+	memb         *membership.Tracker
+	leases       *refs.HolderLeases
+	membGossiped map[ids.NodeID]uint64
 
 	stats Stats
 
@@ -252,7 +263,14 @@ func NewMachine(id ids.NodeID, cfg Config) *Machine {
 	m.acyclic.EmptySetRepeats = cfg.EmptySetRepeats
 	m.lgc = lgc.New(m.heap, m.table)
 	m.selector = core.NewSelector(cfg.CandidateMinAge)
-	if cfg.BatchDetection {
+	if cfg.Membership != nil {
+		mc := cfg.Membership.WithDefaults()
+		m.cfg.Membership = &mc
+		m.memb = membership.NewTracker(id, "", mc)
+		m.leases = refs.NewHolderLeases(m.table, mc.LeaseTicks)
+		m.membGossiped = make(map[ids.NodeID]uint64)
+	}
+	if m.cfg.batchDetectionOn() {
 		// Batched mode implies eager completion: a sender-side verdict on the
 		// derived algebra collapses the terminal fan-out the receivers would
 		// otherwise each evaluate (the matching rule is location-independent,
@@ -301,7 +319,7 @@ func (m *Machine) oldestInflightAge(now time.Time) time.Duration {
 // batching mode is enabled; flushCDMBatch drains it. No-ops otherwise, so
 // the default path emits exactly the historical message sequence.
 func (m *Machine) beginCDMBatch() {
-	if m.cfg.BatchDetection || m.cfg.AggregateDetection {
+	if m.cfg.batchDetectionOn() || m.cfg.AggregateDetection {
 		m.batch = newCDMBatcher()
 	}
 }
@@ -315,6 +333,7 @@ func (m *Machine) flushCDMBatch() {
 		return
 	}
 	m.batch = nil
+	m.filterDeadEdges(b)
 	ids.SortRefIDs(b.order)
 	for _, edge := range b.order {
 		eb := b.edges[edge]
@@ -392,9 +411,11 @@ func (m *Machine) TakeEffects() []transport.Envelope {
 	return out
 }
 
-// send appends one outbound message effect.
+// send appends one outbound message effect, piggybacking a membership gossip
+// on the same envelope burst when the destination's view is stale.
 func (m *Machine) send(to ids.NodeID, msg wire.Message) {
 	m.out = append(m.out, transport.Envelope{To: to, Msg: msg})
+	m.maybePiggybackGossip(to, msg)
 }
 
 // callback invokes a user-provided callback (Method handler, ReplyFunc,

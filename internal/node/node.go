@@ -30,6 +30,7 @@ import (
 	"dgc/internal/heap"
 	"dgc/internal/ids"
 	"dgc/internal/lgc"
+	"dgc/internal/membership"
 	"dgc/internal/obs"
 	"dgc/internal/snapshot"
 	"dgc/internal/trace"
@@ -53,9 +54,11 @@ type Config struct {
 	// CDM each, and receivers split/drop/forward sub-batches per edge the
 	// same way. It also enables the detector's eager-complete check (a
 	// closing derivation is declared locally instead of fanning out one
-	// more hop). Off by default: the unbatched path is the property-test
-	// reference and keeps simulation fingerprints byte-identical.
-	BatchDetection bool
+	// more hop). ON by default (nil means on, now that the batched path has
+	// soaked in the live binaries); set to Bool(false) for the unbatched
+	// path, which remains the property-test reference and keeps simulation
+	// fingerprints byte-identical (the cluster simulator pins it off).
+	BatchDetection *bool
 	// AggregateDetection enables hierarchical match aggregation on top of
 	// batching: a node whose processing of a detection ends without
 	// forwarding returns its accumulated partial match to the detection's
@@ -83,6 +86,12 @@ type Config struct {
 	// DisableDGC turns off all stub/scion bookkeeping on the invocation
 	// path; used by the Table 1 experiment to measure plain RMI.
 	DisableDGC bool
+	// Membership, when non-nil, enables the elastic cluster directory: a
+	// gossip-propagated member table with failure detection, lease-guarded
+	// dead-node scion reclamation and drain handoffs (see internal/membership
+	// and DESIGN.md §14). Nil keeps the directory implicitly static — the
+	// deterministic simulator's mode.
+	Membership *membership.Config
 	// Trace, when non-nil, receives structured events (collections,
 	// summarizations, detections, CDM outcomes, scion lifecycle).
 	Trace *trace.Log
@@ -91,6 +100,14 @@ type Config struct {
 	// When nil the node still instruments itself into a private registry, so
 	// no code path needs a guard — the samples are simply never scraped.
 	Metrics *obs.Set
+}
+
+// Bool returns a pointer to v, for the tri-state Config fields.
+func Bool(v bool) *bool { return &v }
+
+// batchDetectionOn resolves the BatchDetection tri-state: nil means on.
+func (c *Config) batchDetectionOn() bool {
+	return c.BatchDetection == nil || *c.BatchDetection
 }
 
 // Stats counts node activity.
@@ -361,6 +378,29 @@ func (n *Node) Invoke(target ids.GlobalRef, method string, args []ids.GlobalRef,
 func (n *Node) AcquireRemote(ref ids.GlobalRef, cb func(m Mutator, ok bool)) error {
 	var err error
 	n.step("AcquireRemote", func(m *Machine) { err = m.AcquireRemote(ref, cb) })
+	return err
+}
+
+// Members returns the node's membership directory in canonical order (nil
+// when Config.Membership is nil).
+func (n *Node) Members() []membership.Member {
+	var out []membership.Member
+	n.step("Members", func(m *Machine) { out = m.Members() })
+	return out
+}
+
+// AddMember seeds a peer into the membership directory as joining.
+func (n *Node) AddMember(node ids.NodeID, addr string) error {
+	var err error
+	n.step("AddMember", func(m *Machine) { err = m.AddMember(node, addr) })
+	return err
+}
+
+// BeginDrain starts this node's voluntary departure: its exported references
+// are handed to their owners and the node gossips itself draining, then dead.
+func (n *Node) BeginDrain() error {
+	var err error
+	n.step("BeginDrain", func(m *Machine) { err = m.BeginDrain() })
 	return err
 }
 

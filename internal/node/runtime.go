@@ -9,6 +9,7 @@ import (
 	"dgc/internal/heap"
 	"dgc/internal/ids"
 	"dgc/internal/lgc"
+	"dgc/internal/membership"
 	"dgc/internal/snapshot"
 	"dgc/internal/trace"
 	"dgc/internal/transport"
@@ -324,6 +325,7 @@ func (r *LiveRuntime) consume(ev rtEvent) {
 // instead of entering the transport; applyCredit drains them when the peer
 // grants window back.
 func (r *LiveRuntime) flush() {
+	r.applyAddrUpdates()
 	outs := r.mach.TakeEffects()
 	if len(outs) == 0 || r.ep == nil {
 		return
@@ -353,6 +355,27 @@ func (r *LiveRuntime) flush() {
 		_ = r.ep.Send(o.To, o.Msg)
 	}
 	r.updateCreditPending()
+}
+
+// applyAddrUpdates reprograms the endpoint with transport addresses the
+// membership directory learned through gossip, BEFORE the pending effects
+// are sent — a message to a just-discovered member needs its route first.
+// Endpoints without dynamic peer programming simply never learn new routes.
+func (r *LiveRuntime) applyAddrUpdates() {
+	ups := r.mach.TakeAddrUpdates()
+	if len(ups) == 0 || r.ep == nil {
+		return
+	}
+	ap, ok := r.ep.(interface{ AddPeer(ids.NodeID, string) })
+	if !ok {
+		return
+	}
+	for _, u := range ups {
+		if u.Node == r.mach.ID() || u.Addr == "" {
+			continue
+		}
+		ap.AddPeer(u.Node, u.Addr)
+	}
 }
 
 // creditEdgeFor returns (allocating on first use) the window state for one
@@ -583,6 +606,39 @@ func (r *LiveRuntime) AcquireRemote(ref ids.GlobalRef, cb func(m Mutator, ok boo
 		return derr
 	}
 	return err
+}
+
+// Members returns the node's membership directory in canonical order (nil
+// when Config.Membership is nil or after Close).
+func (r *LiveRuntime) Members() []membership.Member {
+	var out []membership.Member
+	_ = r.do("Members", func(m *Machine) { out = m.Members() })
+	return out
+}
+
+// AddMember seeds a peer into the membership directory as joining.
+func (r *LiveRuntime) AddMember(node ids.NodeID, addr string) error {
+	var err error
+	if derr := r.do("AddMember", func(m *Machine) { err = m.AddMember(node, addr) }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// BeginDrain starts this node's voluntary departure: exported references are
+// handed to their owners and the node gossips itself draining, then dead.
+func (r *LiveRuntime) BeginDrain() error {
+	var err error
+	if derr := r.do("BeginDrain", func(m *Machine) { err = m.BeginDrain() }); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// SetAdvertiseAddr records the transport address this node gossips for
+// itself, so joiners discovered through the directory can dial it.
+func (r *LiveRuntime) SetAdvertiseAddr(addr string) {
+	_ = r.do("SetAdvertiseAddr", func(m *Machine) { m.SetSelfAddr(addr) })
 }
 
 // Save serializes the node's durable collector state. Typically paired

@@ -87,6 +87,19 @@ type NodeMetrics struct {
 	CreditStalls  *Counter
 	CreditPending *Gauge
 	CreditGrants  *Counter
+
+	// Cluster membership and lease-guarded reclamation (static zero when
+	// Config.Membership is nil).
+	MembersAlive       *Gauge
+	MembersSuspect     *Gauge
+	MembersDead        *Gauge
+	MemberTransitions  *Counter
+	GossipSent         *Counter
+	GossipReceived     *Counter
+	MemberDetectAborts *Counter
+	LeaseActiveHolders *Gauge
+	LeaseReclaimed     *Counter
+	LeaseHandoffs      *Counter
 }
 
 // NewNodeMetrics registers (or rebinds) the node instrument block on reg.
@@ -139,6 +152,17 @@ func NewNodeMetrics(reg *Registry) *NodeMetrics {
 		CreditStalls:  reg.Counter("dgc_credit_stalls_total", "Outbound messages parked because a peer's credit window was exhausted."),
 		CreditPending: reg.Gauge("dgc_credit_pending", "Outbound messages currently parked awaiting credit."),
 		CreditGrants:  reg.Counter("dgc_credit_grants_total", "Credit grants announced to peers."),
+
+		MembersAlive:       reg.Gauge("dgc_member_alive", "Directory members currently joining, alive or draining."),
+		MembersSuspect:     reg.Gauge("dgc_member_suspect", "Directory members currently suspected by the failure detector."),
+		MembersDead:        reg.Gauge("dgc_member_dead", "Directory members declared dead or departed."),
+		MemberTransitions:  reg.Counter("dgc_member_transitions_total", "Membership state transitions recorded in the directory."),
+		GossipSent:         reg.Counter("dgc_member_gossip_sent_total", "Membership gossip messages sent (piggybacked and anti-entropy)."),
+		GossipReceived:     reg.Counter("dgc_member_gossip_received_total", "Membership gossip messages merged from peers."),
+		MemberDetectAborts: reg.Counter("dgc_member_detection_aborts_total", "Detections aborted because every remaining edge routed through a dead member."),
+		LeaseActiveHolders: reg.Gauge("dgc_lease_active", "Remote holders whose scions are currently lease-guarded."),
+		LeaseReclaimed:     reg.Counter("dgc_lease_reclaimed_total", "Scions reclaimed because their holder was declared dead past its lease."),
+		LeaseHandoffs:      reg.Counter("dgc_lease_handoffs_total", "Lease-handoff messages applied, taking a draining holder's scions into custody."),
 	}
 }
 

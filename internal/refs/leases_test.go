@@ -192,3 +192,114 @@ func TestLeaseUngrantedScionGetsDefensiveLease(t *testing.T) {
 		t.Fatalf("defensive lease never expired: %v", got)
 	}
 }
+
+// --- HolderLeases: the membership-gated per-holder leases (DESIGN.md §14) ---
+
+func TestHolderLeaseExpiryReclaimsScions(t *testing.T) {
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	tb.EnsureScion("P1", 3)
+	tb.EnsureScion("P3", 9) // different holder: must survive P1's expiry
+	h := NewHolderLeases(tb, 4)
+	h.Renew("P1", 0)
+	h.Renew("P3", 0)
+
+	if got := h.ExpireHolder("P1", 4); got != nil {
+		t.Fatalf("expired within lease: %v", got)
+	}
+	got := h.ExpireHolder("P1", 5)
+	if len(got) != 2 || got[0].Obj != 3 || got[1].Obj != 6 {
+		t.Fatalf("ExpireHolder = %v, want P1's scions 3,6 in canonical order", got)
+	}
+	if tb.Scion("P1", 6) != nil || tb.Scion("P1", 3) != nil {
+		t.Fatal("P1 scions survived reclamation")
+	}
+	if tb.Scion("P3", 9) == nil {
+		t.Fatal("false reclamation: P3's scion deleted by P1's expiry")
+	}
+}
+
+func TestHolderLeaseRenewalRacesExpiry(t *testing.T) {
+	// A renewal landing one tick before the horizon keeps every scion; the
+	// same silence without it reclaims. This is the churn race: traffic from
+	// a suspected-but-alive holder must always win over the expiry sweep.
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	h := NewHolderLeases(tb, 4)
+	h.Renew("P1", 0)
+
+	h.Renew("P1", 4) // renewal racing the tick-5 sweep
+	if got := h.ExpireHolder("P1", 5); got != nil {
+		t.Fatalf("renewed holder reclaimed: %v", got)
+	}
+	if got := h.ExpireHolder("P1", 9); len(got) != 1 {
+		t.Fatalf("silent holder kept lease: %v", got)
+	}
+}
+
+func TestHolderLeaseRegrantRequiresHigherIncarnation(t *testing.T) {
+	tb := NewTable("P2")
+	h := NewHolderLeases(tb, 4)
+	if !h.Regrant("P1", 1, 10) {
+		t.Fatal("first regrant at incarnation 1 refused")
+	}
+	if h.Regrant("P1", 1, 20) {
+		t.Fatal("equal incarnation re-granted: a rejoining member must prove a restart")
+	}
+	if h.Regrant("P1", 0, 20) {
+		t.Fatal("stale incarnation re-granted")
+	}
+	if !h.Regrant("P1", 2, 20) {
+		t.Fatal("higher incarnation refused")
+	}
+	if !h.Valid("P1", 24) {
+		t.Fatal("regrant did not restart the lease clock")
+	}
+	if h.Valid("P1", 25) {
+		t.Fatal("regranted lease never ages")
+	}
+}
+
+func TestHolderLeaseNeverHeardIsDefensivelyGranted(t *testing.T) {
+	// Reclamation needs positive evidence of a full lease of silence; a
+	// holder with no bookkeeping at all starts its clock at first check.
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	h := NewHolderLeases(tb, 4)
+	if !h.Valid("P1", 100) {
+		t.Fatal("never-heard holder treated as expired")
+	}
+	if got := h.ExpireHolder("P1", 104); got != nil {
+		t.Fatalf("reclaimed within the defensive grant: %v", got)
+	}
+	if got := h.ExpireHolder("P1", 105); len(got) != 1 {
+		t.Fatalf("defensive grant never expired: %v", got)
+	}
+}
+
+func TestHolderLeaseCustodialPinsSurviveExpiry(t *testing.T) {
+	// Drain handoffs pin scions into custody: holder death reclaims only the
+	// unpinned remainder, and ReleaseCustodial sweeps the pinned set when the
+	// departure is final.
+	tb := NewTable("P2")
+	tb.EnsureScion("P1", 6)
+	tb.EnsureScion("P1", 3)
+	h := NewHolderLeases(tb, 4)
+	h.Renew("P1", 0)
+	h.Pin("P1", 3)
+
+	got := h.ExpireHolder("P1", 5)
+	if len(got) != 1 || got[0].Obj != 6 {
+		t.Fatalf("ExpireHolder = %v, want only the unpinned scion 6", got)
+	}
+	if tb.Scion("P1", 3) == nil {
+		t.Fatal("custodial scion reclaimed by lease expiry")
+	}
+	rel := h.ReleaseCustodial("P1")
+	if len(rel) != 1 || rel[0].Obj != 3 {
+		t.Fatalf("ReleaseCustodial = %v", rel)
+	}
+	if tb.Scion("P1", 3) != nil {
+		t.Fatal("custodial scion survived release")
+	}
+}

@@ -67,6 +67,22 @@ const (
 	// KindFault records an operator fault-injection action (kill, restart,
 	// delay, drop, partition, heal) against a node.
 	KindFault
+	// KindMemberJoin / KindMemberAlive / KindMemberSuspect / KindMemberDead /
+	// KindMemberDrain record membership-directory transitions: a member
+	// registered, confirmed alive, suspected by the failure detector,
+	// declared dead (or departed), or beginning a voluntary drain.
+	KindMemberJoin
+	KindMemberAlive
+	KindMemberSuspect
+	KindMemberDead
+	KindMemberDrain
+	// KindLeaseHandoff records a draining holder migrating its references:
+	// emitted by the drainer per referent owner, by the owner taking the
+	// scions into custody, and again when custody is released.
+	KindLeaseHandoff
+	// KindLeaseReclaim records scions deleted because their holder was
+	// declared dead and its lease ran out.
+	KindLeaseReclaim
 )
 
 // kindNames is the canonical kind -> display-name table; parseKinds inverts
@@ -90,6 +106,13 @@ var kindNames = map[Kind]string{
 	KindCreditStall:    "credit-stall",
 	KindMailboxDrop:    "mailbox-drop",
 	KindFault:          "fault",
+	KindMemberJoin:     "member-join",
+	KindMemberAlive:    "member-alive",
+	KindMemberSuspect:  "member-suspect",
+	KindMemberDead:     "member-dead",
+	KindMemberDrain:    "member-drain",
+	KindLeaseHandoff:   "lease-handoff",
+	KindLeaseReclaim:   "lease-reclaim",
 }
 
 // String returns the kind's display name.

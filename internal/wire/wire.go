@@ -32,6 +32,8 @@ const (
 	KindBatch
 	KindCredit
 	KindBatchCDM
+	KindGossip
+	KindLeaseHandoff
 )
 
 // String returns the protocol name of the kind.
@@ -65,6 +67,10 @@ func (k Kind) String() string {
 		return "Credit"
 	case KindBatchCDM:
 		return "BatchCDM"
+	case KindGossip:
+		return "Gossip"
+	case KindLeaseHandoff:
+		return "LeaseHandoff"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -172,6 +178,10 @@ func Decode(data []byte) (Message, error) {
 		m = decodeCredit(r)
 	case KindBatchCDM:
 		m = decodeBatchCDM(r)
+	case KindGossip:
+		m = decodeGossip(r)
+	case KindLeaseHandoff:
+		m = decodeLeaseHandoff(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown kind %d", data[0])
 	}

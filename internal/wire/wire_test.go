@@ -56,6 +56,13 @@ func TestRoundTripAllKinds(t *testing.T) {
 			&DeleteScion{Det: det, Ref: r1},
 		}},
 		&Batch{},
+		&Gossip{Members: []MemberRecord{
+			{Node: "P1", Addr: "10.0.0.1:7001", Incarnation: 3, State: 2},
+			{Node: "P2", Incarnation: 0, State: 5},
+		}},
+		&Gossip{Ack: true},
+		&LeaseHandoff{Holder: "P3", Objs: []ids.ObjID{2, 7, 9}},
+		&LeaseHandoff{Holder: "P3"},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -222,6 +229,8 @@ func TestEncodedSizeAndAppendEncode(t *testing.T) {
 		&HughesThreshold{Threshold: 42},
 		&DeleteScion{Det: det, Ref: r1},
 		&Batch{Msgs: []Message{&DeleteScion{Det: det, Ref: r1}}},
+		&Gossip{Ack: true, Members: []MemberRecord{{Node: "P1", Addr: "h:1", Incarnation: 300, State: 2}}},
+		&LeaseHandoff{Holder: "P3", Objs: []ids.ObjID{2, 700}},
 	}
 	for _, m := range msgs {
 		data := Encode(m)
@@ -281,7 +290,7 @@ func randRefID(rng *rand.Rand) ids.RefID {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := KindInvokeRequest; k <= KindCredit; k++ {
+	for k := KindInvokeRequest; k <= KindLeaseHandoff; k++ {
 		if s := k.String(); s == "" || s[0] == 'K' {
 			t.Errorf("Kind(%d).String() = %q", k, s)
 		}

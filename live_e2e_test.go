@@ -105,23 +105,23 @@ func TestLiveE2ECycleCollectedAcrossRestart(t *testing.T) {
 		return string(body)
 	}
 
-	// One anchor object per node; A's anchor is rooted while we build.
+	// One anchor object per node, all rooted while we build: the periodic
+	// local collectors are already running underneath, and an unrooted
+	// anchor with no scion yet would be swept if an LGC pass won the race
+	// against the incoming CreateScion. B's and C's roots are dropped once
+	// the ring is linked; only A's persists.
 	anchors := make(map[dgc.NodeID]dgc.GlobalRef, 3)
 	for _, n := range names {
 		var obj dgc.ObjID
 		if err := nodes[n].With(func(m dgc.Mutator) {
 			obj = m.Alloc([]byte("anchor-" + string(n)))
+			if err := m.Root(obj); err != nil {
+				t.Error(err)
+			}
 		}); err != nil {
 			t.Fatal(err)
 		}
 		anchors[n] = dgc.GlobalRef{Node: n, Obj: obj}
-	}
-	if err := nodes["A"].With(func(m dgc.Mutator) {
-		if err := m.Root(anchors["A"].Obj); err != nil {
-			t.Error(err)
-		}
-	}); err != nil {
-		t.Fatal(err)
 	}
 
 	// Ring A -> B -> C -> A via acquire + store RPCs over the wire.
@@ -150,6 +150,12 @@ func TestLiveE2ECycleCollectedAcrossRestart(t *testing.T) {
 	link("A", "B")
 	link("B", "C")
 	link("C", "A")
+	for _, n := range []dgc.NodeID{"B", "C"} {
+		obj := anchors[n].Obj
+		if err := nodes[n].With(func(m dgc.Mutator) { m.Unroot(obj) }); err != nil {
+			t.Fatal(err)
+		}
+	}
 
 	total := func() int {
 		sum := 0
